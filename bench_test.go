@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Every benchmark regenerates one of the paper's tables or figures. The
+// table is printed once (first iteration) so `go test -bench .` emits
+// the same rows/series the paper reports; subsequent iterations measure
+// the cost of regenerating the experiment.
+
+var printOnce sync.Map
+
+func report(b *testing.B, e *bench.Experiment) {
+	if _, loaded := printOnce.LoadOrStore(e.Name, true); !loaded {
+		e.Fprint(os.Stdout)
+	}
+}
+
+func BenchmarkTable1NodeDescription(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Table1())
+	}
+}
+
+func BenchmarkFigure2Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure2(bench.Options{}))
+	}
+}
+
+func BenchmarkFigure5NoBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure5(false, bench.Options{}))
+	}
+}
+
+func BenchmarkFigure5Batching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure5(true, bench.Options{}))
+	}
+}
+
+func BenchmarkFigure6Gustafson(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure6(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkFigure7LargeJob(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Figure7(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkHeadlineSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.Headline(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkAblationLatencyHiding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationLatencyHiding(bench.Options{}))
+	}
+}
+
+func BenchmarkAblationBatchSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationBatchSweep(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkAblationBatchRamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationBatchRamp(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkAblationPartitionLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationPartitionControl(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+func BenchmarkAblationThreadMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationThreadMode(bench.Options{}))
+	}
+}
+
+func BenchmarkAblationMeshVsTorus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationMeshVsTorus(bench.Options{}))
+	}
+}
+
+func BenchmarkAblationElementSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationElementSize(bench.Options{}))
+	}
+}
+
+func BenchmarkAblationMasterOnlySync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, bench.AblationMasterOnlySync(bench.Options{Quick: testing.Short()}))
+	}
+}
+
+// Real-runtime benchmarks: the four approaches doing actual stencil
+// arithmetic over goroutine ranks at host scale.
+
+func realJob(a core.Approach) core.Job {
+	return core.Job{
+		Global:     topology.Dims{32, 32, 32},
+		NumGrids:   16,
+		Radius:     2,
+		Spacing:    0.5,
+		Periodic:   true,
+		Cores:      8,
+		Threads:    4,
+		Approach:   a,
+		BatchSize:  4,
+		Iterations: 1,
+	}
+}
+
+func benchReal(b *testing.B, a core.Approach) {
+	j := realJob(a)
+	points := int64(j.Global.Count()) * int64(j.NumGrids)
+	b.SetBytes(points * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Run(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(points)/1e6, "Mpoints/op")
+}
+
+func BenchmarkRealFlatOriginal(b *testing.B)     { benchReal(b, core.FlatOriginal) }
+func BenchmarkRealFlatOptimized(b *testing.B)    { benchReal(b, core.FlatOptimized) }
+func BenchmarkRealHybridMultiple(b *testing.B)   { benchReal(b, core.HybridMultiple) }
+func BenchmarkRealHybridMasterOnly(b *testing.B) { benchReal(b, core.HybridMasterOnly) }
+
+// BenchmarkRealBatchEffect measures the real runtime's message-count
+// reduction from batching (8 cores, batch 1 vs 8).
+func BenchmarkRealBatchEffect(b *testing.B) {
+	for _, batch := range []int{1, 8} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			j := realJob(core.FlatOptimized)
+			j.BatchSize = batch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.Run(false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Command pingpong reproduces Figure 2: point-to-point bandwidth as a
+// function of message size between two neighbouring Blue Gene/P nodes,
+// evaluated on the calibrated link model.
+//
+// Usage:
+//
+//	pingpong            # the paper's size ladder
+//	pingpong -max 1e6   # stop earlier
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/bgpsim"
+)
+
+func main() {
+	max := flag.Float64("max", 1e7, "largest message size in bytes")
+	flag.Parse()
+
+	p := bgpsim.DefaultParams()
+	fmt.Println("message size (bytes)   bandwidth (MB/s)   time (us)")
+	for _, base := range []int64{1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000} {
+		for _, mult := range []int64{1, 2, 5} {
+			s := base * mult
+			if float64(s) > *max {
+				return
+			}
+			t := p.PostCost + p.MessageTime(s, 1)
+			fmt.Printf("%20d %18.1f %11.2f\n", s, p.Bandwidth(s)/1e6, t*1e6)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package repro reproduces "GPAW optimized for Blue Gene/P using hybrid
+// programming" (Kristensen, Happe, Vinter — IPDPS 2009) as a
+// self-contained Go library.
+//
+// The repository contains:
+//
+//   - internal/core — the paper's contribution: GPAW's distributed
+//     finite-difference operation with asynchronous halo exchange,
+//     double buffering, message batching, and the four programming
+//     approaches (flat original/optimized, hybrid multiple/master-only),
+//     running on a real in-process MPI runtime with bitwise verification.
+//   - internal/mpi — that runtime: goroutine ranks, MPI matching
+//     semantics, collectives, Cartesian topologies, thread modes.
+//   - internal/bgpsim — a calibrated discrete-event model of Blue
+//     Gene/P (Table I constants, torus links, DMA, mesh partitions)
+//     that replays the protocols at up to 16 384 cores and regenerates
+//     every figure of the paper's evaluation.
+//   - internal/grid, internal/stencil — real-space grids with halos and
+//     the 13-point finite-difference operator (Fornberg coefficients).
+//   - internal/gpaw, internal/linalg — a miniature real-space DFT stack
+//     (Poisson, Kohn–Sham eigensolver, SCF) providing the workload
+//     context GPAW gives the kernel.
+//   - internal/bench — drivers that regenerate Table I and Figures 2,
+//     5, 6, 7 plus ablations; exercised by bench_test.go in this
+//     directory and by cmd/gpawsim.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

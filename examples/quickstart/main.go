@@ -1,0 +1,41 @@
+// Quickstart: build the paper's 13-point finite-difference operator,
+// apply it to one periodic real-space grid, and print a few values.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/stencil"
+)
+
+func main() {
+	// A 32^3 real-space grid with a halo wide enough for the radius-2
+	// stencil (two nearest neighbours in every direction).
+	const n = 32
+	h := 2 * math.Pi / n
+	src := grid.New(n, n, n, 2)
+	dst := grid.New(n, n, n, 2)
+
+	// f(x,y,z) = sin x * sin y * sin z, so ∇²f = -3 f.
+	src.FillFunc(func(i, j, k int) float64 {
+		return math.Sin(h*float64(i)) * math.Sin(h*float64(j)) * math.Sin(h*float64(k))
+	})
+
+	// The fourth-order Laplacian: C1..C13 of the paper's section II-A.
+	op := stencil.Laplacian(2, h)
+	fmt.Printf("stencil points: %d, flops/point: %d\n", op.Points(), op.FlopsPerPoint())
+
+	// Fill halos periodically and apply.
+	op.ApplyPeriodicReference(dst, src)
+
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		want := -3 * src.At(i, 5, 9)
+		if d := math.Abs(dst.At(i, 5, 9) - want); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max |∇²f + 3f| along a line: %.2e (4th-order accuracy)\n", maxErr)
+}

@@ -1,0 +1,42 @@
+// Scaling: a weak-scaling (Gustafson) study on the calibrated Blue
+// Gene/P model — one 192^3 grid per core, all four programming
+// approaches, printed as a speedup-per-core-count table. A miniature
+// version of the paper's Figure 6 that runs in a couple of seconds.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bgpsim"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Println("weak scaling on the Blue Gene/P model: grids = cores, 192^3, batch 8")
+	fmt.Printf("%8s  %14s %14s %14s %14s\n",
+		"cores", "FlatOriginal", "FlatOptimized", "HybridMultiple", "HybridMaster")
+	for _, cores := range []int{4, 64, 512, 4096} {
+		w := bgpsim.Workload{
+			GridSize: topology.Dims{192, 192, 192},
+			NumGrids: cores,
+		}
+		fmt.Printf("%8d", cores)
+		for _, a := range core.Approaches {
+			batch := 8
+			if a == core.FlatOriginal {
+				batch = 1
+			}
+			r, err := bgpsim.Simulate(w, bgpsim.Config{
+				Cores: cores, Approach: a, BatchSize: batch, BatchRamp: batch > 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("  %11.3f s", r.Time)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nideal weak scaling would keep each column flat; the growth is the")
+	fmt.Println("communication increase the paper attributes to finer partitioning")
+}

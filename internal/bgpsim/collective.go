@@ -1,0 +1,57 @@
+package bgpsim
+
+import "math"
+
+// Blue Gene/P has two more networks besides the torus (section III):
+// a tree-structured collective network used for reductions and
+// broadcasts, and a dedicated global barrier/interrupt network. The
+// finite-difference benchmark itself uses only point-to-point torus
+// traffic, but the surrounding GPAW computation (orthogonalization's
+// Allreduce, SCF convergence checks) runs on these, so the model
+// includes them for completeness and for the collective-cost helper
+// used in extended experiments.
+
+// Collective network characteristics (IBM journal values, approximate).
+const (
+	// TreeBandwidth is the collective network's per-link bandwidth.
+	TreeBandwidth = 0.85e9 // bytes/s (6.8 Gbit/s)
+	// TreeLatencyPerLevel is the combining latency per tree level.
+	TreeLatencyPerLevel = 1.3e-6
+	// BarrierLatency is a full-machine hardware barrier on the global
+	// interrupt network.
+	BarrierLatency = 1.3e-6
+)
+
+// TreeLevels returns the depth of the combining tree over n nodes.
+func TreeLevels(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// AllreduceTime models MPI_Allreduce of n bytes over `nodes` nodes on
+// the collective network: the payload streams through the combining
+// tree once up and once down, paying the per-level latency both ways.
+func (p Params) AllreduceTime(n int64, nodes int) float64 {
+	levels := TreeLevels(nodes)
+	wire := 2 * float64(n) / TreeBandwidth
+	return wire + 2*float64(levels)*TreeLatencyPerLevel + p.MsgLatency
+}
+
+// BarrierTime models a global barrier: the hardware barrier network's
+// latency, independent of node count (one of BGP's signature features).
+func (p Params) BarrierTime(nodes int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	return BarrierLatency
+}
+
+// OrthogonalizationCollectiveTime estimates the Allreduce cost of one
+// overlap-matrix construction for m wave-functions over the given node
+// count: an m x m float64 matrix reduced across all nodes. This is the
+// piece of GPAW the paper's further-work section wants to overlap next.
+func (p Params) OrthogonalizationCollectiveTime(m, nodes int) float64 {
+	return p.AllreduceTime(int64(m)*int64(m)*8, nodes)
+}

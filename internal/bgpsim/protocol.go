@@ -1,0 +1,387 @@
+package bgpsim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Workload describes the finite-difference job being simulated.
+type Workload struct {
+	GridSize topology.Dims // extents of every real-space grid
+	NumGrids int           // number of grids (wave-functions)
+	Radius   int           // stencil radius (2 = the paper's operator)
+	Elem     int           // bytes per grid point (8 = real)
+	// Applications is how many times the operation is applied to every
+	// grid; times and traffic scale linearly with it.
+	Applications int
+}
+
+// DefaultWorkload fills in the paper's constants for unset fields.
+func (w Workload) withDefaults() Workload {
+	if w.Radius == 0 {
+		w.Radius = 2
+	}
+	if w.Elem == 0 {
+		w.Elem = 8
+	}
+	if w.Applications == 0 {
+		w.Applications = 1
+	}
+	return w
+}
+
+// FlopsPerPoint returns the stencil flops per output point.
+func (w Workload) FlopsPerPoint() int { return 2*(6*w.Radius+1) - 1 }
+
+// Config selects the machine configuration and programming approach.
+type Config struct {
+	Cores    int
+	Approach core.Approach
+	// SplitGroups enables the paper's section-VII control experiment:
+	// Flat optimized with the grids statically divided into four
+	// sub-groups so each core works on node-level sub-grids. Only
+	// meaningful with Approach == FlatOptimized.
+	SplitGroups bool
+	BatchSize   int
+	BatchRamp   bool
+	Params      Params
+}
+
+// Result reports one simulated configuration.
+type Result struct {
+	Time        float64 // seconds for all Applications
+	Utilization float64 // useful compute time / (cores x wall)
+	// InterNodeBytes is torus traffic leaving one node over the run.
+	InterNodeBytes float64
+	// IntraNodeBytes is MPI traffic between co-located ranks (VN mode).
+	IntraNodeBytes float64
+	// Messages is the number of MPI messages sent by one node.
+	Messages float64
+	// LargestMsg/SmallestMsg bound observed message sizes in bytes.
+	LargestMsg, SmallestMsg int64
+	// ComputePerCore is the useful compute seconds per core.
+	ComputePerCore float64
+	// Layout echoes the decomposition used.
+	RankGrid, NodeGrid topology.Dims
+	Torus              bool
+	LocalDims          topology.Dims
+}
+
+// CommPerNodeMB returns total MPI bytes per node in megabytes, the
+// quantity on Figure 6's right axis.
+func (r Result) CommPerNodeMB() float64 {
+	return (r.InterNodeBytes + r.IntraNodeBytes) / 1e6
+}
+
+// buildLayout maps the configuration onto nodes, ranks and sub-domains.
+func buildLayout(w Workload, cfg Config) (layout, error) {
+	var lay layout
+	cores := cfg.Cores
+	if cores < 1 {
+		return lay, fmt.Errorf("bgpsim: %d cores", cores)
+	}
+	if cores > CoresPerNode && cores%CoresPerNode != 0 {
+		return lay, fmt.Errorf("bgpsim: %d cores not a multiple of %d", cores, CoresPerNode)
+	}
+	hybridLike := cfg.Approach.Hybrid() || cfg.SplitGroups
+	if hybridLike {
+		nodes := 1
+		threads := cores
+		if cores > CoresPerNode {
+			nodes = cores / CoresPerNode
+			threads = CoresPerNode
+		}
+		lay.rankGrid = topology.DecomposeGrid(nodes, w.GridSize)
+		lay.nodeGrid = lay.rankGrid
+		lay.intra = topology.Dims{1, 1, 1}
+		lay.ranksNode = threads
+	} else {
+		ranksPerNode := cores
+		if ranksPerNode > CoresPerNode {
+			ranksPerNode = CoresPerNode
+		}
+		lay.rankGrid = topology.DecomposeGrid(cores, w.GridSize)
+		intra, err := bestIntraDims(ranksPerNode, lay.rankGrid, w.GridSize)
+		if err != nil {
+			return lay, err
+		}
+		lay.intra = intra
+		for d := 0; d < 3; d++ {
+			lay.nodeGrid[d] = lay.rankGrid[d] / intra[d]
+		}
+		lay.ranksNode = ranksPerNode
+	}
+	lay.net = Partition(lay.nodeGrid)
+	lay.local = topology.SubdomainSize(w.GridSize, lay.rankGrid, topology.Coord{0, 0, 0})
+	for d := 0; d < 3; d++ {
+		if lay.rankGrid[d] > 1 && w.GridSize[d]/lay.rankGrid[d] < w.Radius {
+			return lay, fmt.Errorf("bgpsim: sub-domain thinner than halo in dim %d (%v over %v)",
+				d, w.GridSize, lay.rankGrid)
+		}
+	}
+	return lay, nil
+}
+
+// bestIntraDims factors ranksPerNode into a 3-D block that divides the
+// rank grid, choosing the factorization that keeps the node's combined
+// sub-domain closest to cubic (minimizing inter-node surface), which is
+// what BGP's reordered Cartesian mapping achieves in virtual mode.
+func bestIntraDims(ranksPerNode int, rankGrid, g topology.Dims) (topology.Dims, error) {
+	best := topology.Dims{}
+	bestScore := -1.0
+	for x := 1; x <= ranksPerNode; x++ {
+		if ranksPerNode%x != 0 || rankGrid[0]%x != 0 {
+			continue
+		}
+		rest := ranksPerNode / x
+		for y := 1; y <= rest; y++ {
+			if rest%y != 0 || rankGrid[1]%y != 0 {
+				continue
+			}
+			z := rest / y
+			if rankGrid[2]%z != 0 {
+				continue
+			}
+			// Node block extents; smaller surface is better.
+			sx := float64(g[0]) / float64(rankGrid[0]/x)
+			sy := float64(g[1]) / float64(rankGrid[1]/y)
+			sz := float64(g[2]) / float64(rankGrid[2]/z)
+			surface := 2 * (sx*sy + sy*sz + sx*sz)
+			if bestScore < 0 || surface < bestScore {
+				bestScore = surface
+				best = topology.Dims{x, y, z}
+			}
+		}
+	}
+	if bestScore < 0 {
+		return best, fmt.Errorf("bgpsim: cannot place %d ranks per node onto rank grid %v", ranksPerNode, rankGrid)
+	}
+	return best, nil
+}
+
+// Simulate runs one configuration on the representative-node model and
+// returns its predicted performance.
+func Simulate(w Workload, cfg Config) (Result, error) {
+	w = w.withDefaults()
+	if w.NumGrids < 1 {
+		return Result{}, fmt.Errorf("bgpsim: %d grids", w.NumGrids)
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	lay, err := buildLayout(w, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	prm := cfg.Params
+	if prm == (Params{}) {
+		prm = DefaultParams()
+	}
+
+	k := sim.NewKernel()
+	nd := newNode(k, prm, lay)
+
+	active := cfg.Cores
+	if active > CoresPerNode {
+		active = CoresPerNode
+	}
+	tpp := prm.PointTime(w.FlopsPerPoint(), 16, active)
+	localPoints := lay.local.Count()
+	opts := core.OptionsFor(cfg.Approach, cfg.BatchSize, CoresPerNode)
+	opts.BatchRamp = cfg.BatchRamp
+
+	// Build the simulated ranks/threads and their grid shares.
+	type share struct {
+		r     *simRank
+		grids int
+	}
+	var shares []share
+	switch {
+	case cfg.SplitGroups:
+		groups := lay.ranksNode
+		for i := 0; i < groups; i++ {
+			r := &simRank{nd: nd, idx: i, multiple: false}
+			nd.ranks = append(nd.ranks, r)
+			_, n := topology.Split(w.NumGrids, groups, i)
+			shares = append(shares, share{r, n})
+		}
+	case cfg.Approach == core.HybridMultiple:
+		for i := 0; i < lay.ranksNode; i++ {
+			r := &simRank{nd: nd, idx: i, multiple: true}
+			nd.ranks = append(nd.ranks, r)
+			_, n := topology.Split(w.NumGrids, lay.ranksNode, i)
+			shares = append(shares, share{r, n})
+		}
+	case cfg.Approach == core.HybridMasterOnly:
+		r := &simRank{nd: nd, idx: 0, multiple: false}
+		nd.ranks = append(nd.ranks, r)
+		shares = append(shares, share{r, w.NumGrids})
+	default: // flat layouts: every rank owns a piece of every grid
+		for i := 0; i < lay.ranksNode; i++ {
+			r := &simRank{nd: nd, idx: i, intraPos: lay.intra.Coord(i), multiple: false}
+			nd.ranks = append(nd.ranks, r)
+			shares = append(shares, share{r, w.NumGrids})
+		}
+	}
+
+	// faceBytes[dim] per grid in one direction.
+	var faceBytes [3]int64
+	for d := 0; d < 3; d++ {
+		faceBytes[d] = topology.HaloBytes(lay.local, d, w.Radius, w.Elem)
+	}
+	// commDim[dim] reports whether dimension d crosses rank boundaries.
+	var commDim [3]bool
+	for d := 0; d < 3; d++ {
+		commDim[d] = lay.rankGrid[d] > 1
+	}
+
+	for _, sh := range shares {
+		sh := sh
+		k.Spawn(fmt.Sprintf("rank%d", sh.r.idx), func(p *sim.Proc) {
+			runProtocol(p, nd, sh.r, sh.grids, cfg, opts, tpp, localPoints, faceBytes, commDim)
+		})
+	}
+	wall := k.Run()
+	if wall <= 0 {
+		wall = 1e-12
+	}
+
+	apps := float64(w.Applications)
+	res := Result{
+		Time:           wall * apps,
+		Utilization:    nd.useful / (float64(active) * wall),
+		InterNodeBytes: nd.interBytes.Total() * apps,
+		IntraNodeBytes: nd.intraBytes.Total() * apps,
+		Messages:       nd.messages.Total() * apps,
+		LargestMsg:     nd.largest,
+		SmallestMsg:    nd.smallest,
+		ComputePerCore: nd.useful / float64(active) * apps,
+		RankGrid:       lay.rankGrid,
+		NodeGrid:       lay.nodeGrid,
+		Torus:          lay.net.Torus,
+		LocalDims:      lay.local,
+	}
+	return res, nil
+}
+
+// runProtocol enacts one application of the configured exchange +
+// compute protocol for one rank or thread owning `grids` grids.
+func runProtocol(p *sim.Proc, nd *node, r *simRank, grids int,
+	cfg Config, opts core.Options, tpp float64, localPoints int,
+	faceBytes [3]int64, commDim [3]bool) {
+
+	if grids == 0 {
+		return
+	}
+	batches := core.MakeBatches(grids, opts.BatchSize, opts.BatchRamp)
+	prm := nd.prm
+
+	packBatch := func(n int) {
+		// Pack the six face buffers of n grids (CPU copies).
+		for d := 0; d < 3; d++ {
+			if !commDim[d] {
+				continue
+			}
+			r.copyCost(p, 2*faceBytes[d]*int64(n))
+		}
+	}
+	unpackBatch := func(n int) {
+		for d := 0; d < 3; d++ {
+			if !commDim[d] {
+				continue
+			}
+			r.copyCost(p, 2*faceBytes[d]*int64(n))
+		}
+	}
+	localWrap := func(n int) {
+		// Undivided periodic dimensions wrap locally: one copy per face.
+		for d := 0; d < 3; d++ {
+			if commDim[d] {
+				continue
+			}
+			r.copyCost(p, 2*faceBytes[d]*int64(n))
+		}
+	}
+	start := func(n int) {
+		packBatch(n)
+		for d := 0; d < 3; d++ {
+			if !commDim[d] {
+				continue
+			}
+			r.postRecv(p)
+			r.postRecv(p)
+			r.sendFace(p, d, 0, faceBytes[d]*int64(n))
+			r.sendFace(p, d, 1, faceBytes[d]*int64(n))
+		}
+	}
+	finish := func(n int) {
+		for d := 0; d < 3; d++ {
+			if !commDim[d] {
+				continue
+			}
+			r.awaitFace(p, d, 0)
+			r.awaitFace(p, d, 1)
+		}
+		unpackBatch(n)
+		localWrap(n)
+	}
+	serialized := func(n int) {
+		for d := 0; d < 3; d++ {
+			if !commDim[d] {
+				continue
+			}
+			r.copyCost(p, 2*faceBytes[d]*int64(n)) // pack this dimension
+			r.postRecv(p)
+			r.postRecv(p)
+			r.sendFace(p, d, 0, faceBytes[d]*int64(n))
+			r.sendFace(p, d, 1, faceBytes[d]*int64(n))
+			r.awaitFace(p, d, 0)
+			r.awaitFace(p, d, 1)
+			r.copyCost(p, 2*faceBytes[d]*int64(n)) // unpack before next dim
+		}
+		localWrap(n)
+	}
+	active := cfg.Cores
+	if active > CoresPerNode {
+		active = CoresPerNode
+	}
+	computeBatch := func(n int) {
+		for g := 0; g < n; g++ {
+			if cfg.Approach == core.HybridMasterOnly {
+				nd.forkJoinCompute(p, localPoints, tpp, active)
+			} else {
+				nd.compute(p, localPoints, tpp)
+			}
+		}
+	}
+
+	switch {
+	case opts.Exchange == core.ExchangeSerialized:
+		for _, b := range batches {
+			serialized(b.Size())
+			computeBatch(b.Size())
+		}
+	case !opts.DoubleBuffer:
+		for _, b := range batches {
+			start(b.Size())
+			finish(b.Size())
+			computeBatch(b.Size())
+		}
+	default:
+		start(batches[0].Size())
+		for bi := range batches {
+			if bi+1 < len(batches) {
+				start(batches[bi+1].Size())
+			}
+			finish(batches[bi].Size())
+			computeBatch(batches[bi].Size())
+		}
+	}
+
+	if cfg.Approach == core.HybridMultiple {
+		p.Hold(prm.JoinOnce)
+	}
+}

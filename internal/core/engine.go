@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/stencil"
+	"repro/internal/topology"
+)
+
+// Engine applies a finite-difference operator to sets of identically
+// decomposed real-space grids, performing the distributed halo exchange
+// with the configured optimizations. One Engine lives on each MPI rank.
+type Engine struct {
+	cart     *mpi.Cart
+	decomp   *grid.Decomp
+	op       *stencil.Operator
+	opts     Options
+	periodic bool
+
+	coord topology.Coord
+	local topology.Dims
+	// nbr[dim][side] is the rank owning the sub-domain on that side
+	// (mpi.ProcNull when non-periodic at an edge).
+	nbr [3][2]int
+
+	stats Stats
+}
+
+// Stats accumulates per-rank communication accounting.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	LargestMsg   int64
+	SmallestMsg  int64
+	Exchanges    int64 // halo exchanges performed (grids x applications)
+}
+
+// note records one sent message.
+func (s *Stats) note(bytes int64) {
+	s.MessagesSent++
+	s.BytesSent += bytes
+	if bytes > s.LargestMsg {
+		s.LargestMsg = bytes
+	}
+	if s.SmallestMsg == 0 || bytes < s.SmallestMsg {
+		s.SmallestMsg = bytes
+	}
+}
+
+// NewEngine builds the per-rank engine. The cart's dims must match the
+// decomposition's process grid and the decomposition halo must cover the
+// operator radius.
+func NewEngine(cart *mpi.Cart, d *grid.Decomp, op *stencil.Operator, periodic bool, opts Options) (*Engine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if cart.Dims != d.Procs {
+		return nil, fmt.Errorf("core: cart dims %v != decomposition procs %v", cart.Dims, d.Procs)
+	}
+	if d.Halo < op.R {
+		return nil, fmt.Errorf("core: halo %d < operator radius %d", d.Halo, op.R)
+	}
+	e := &Engine{cart: cart, decomp: d, op: op, opts: opts, periodic: periodic}
+	e.coord = cart.Coords(cart.Rank())
+	e.local = d.LocalDims(e.coord)
+	for dim := 0; dim < 3; dim++ {
+		lo, hi := cart.Shift(dim, 1)
+		// Shift returns (src, dst) for +1 displacement: src is the low
+		// neighbour, dst the high neighbour.
+		e.nbr[dim][int(grid.Low)] = lo
+		e.nbr[dim][int(grid.High)] = hi
+	}
+	return e, nil
+}
+
+// LocalDims returns the extents of this rank's sub-domain.
+func (e *Engine) LocalDims() topology.Dims { return e.local }
+
+// Coord returns this rank's Cartesian coordinate.
+func (e *Engine) Coord() topology.Coord { return e.coord }
+
+// Stats returns the accumulated communication statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats clears the accumulated statistics.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// NewLocalGrid allocates a local grid matching this rank's sub-domain.
+func (e *Engine) NewLocalGrid() *grid.Grid { return grid.NewDims(e.local, e.decomp.Halo) }
+
+// Batch describes a contiguous run of grid indices exchanged together.
+type Batch struct{ Lo, Hi int } // grids [Lo, Hi)
+
+// Size returns the number of grids in the batch.
+func (b Batch) Size() int { return b.Hi - b.Lo }
+
+// MakeBatches splits n grids into batches of the given size. With ramp
+// the first batch is halved (rounded up) so the pipeline can start
+// computing sooner; the paper's example reduces an initial 128 to 64.
+// It is shared by the real engine and the Blue Gene/P simulator so both
+// enact identical batch structures.
+func MakeBatches(n, size int, ramp bool) []Batch {
+	if n == 0 {
+		return nil
+	}
+	var out []Batch
+	lo := 0
+	if ramp && size > 1 {
+		if first := (size + 1) / 2; first < n {
+			out = append(out, Batch{0, first})
+			lo = first
+		}
+	}
+	for lo < n {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Batch{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// exchangeState holds the buffers and requests of one in-flight batch
+// exchange. Buffers are reused across batches of the same shape.
+type exchangeState struct {
+	send [3][2][]float64
+	recv [3][2][]float64
+	reqs []*mpi.Request
+	b    Batch
+}
+
+// faceTag builds the message tag for the halo of (dim, side) of batch
+// index bi within a thread's sequence, offset by tagBase to keep threads
+// disjoint. The tag identifies the halo side being filled at the
+// receiver.
+func faceTag(tagBase, bi, dim int, side grid.Side) int {
+	return tagBase + bi*6 + dim*2 + int(side)
+}
+
+// startExchange packs the batch's surface points and posts the receives
+// and sends for every dimension at once. Used by the async protocols.
+func (e *Engine) startExchange(st *exchangeState, src []*grid.Grid, tagBase, bi int) {
+	st.reqs = st.reqs[:0]
+	for dim := 0; dim < 3; dim++ {
+		e.postDim(st, src, tagBase, bi, dim)
+	}
+}
+
+// postDim posts the receives and sends of one dimension for the batch.
+func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim int) {
+	faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
+	n := st.b.Size() * faceLen
+	for _, side := range []grid.Side{grid.Low, grid.High} {
+		if e.nbr[dim][side] == mpi.ProcNull {
+			continue
+		}
+		if cap(st.recv[dim][side]) < n {
+			st.recv[dim][side] = make([]float64, n)
+			st.send[dim][side] = make([]float64, n)
+		}
+		st.recv[dim][side] = st.recv[dim][side][:n]
+		st.send[dim][side] = st.send[dim][side][:n]
+		// Post the receive for my (dim, side) halo first so an eager
+		// send (including a self-send when the dimension is undivided)
+		// finds it waiting.
+		st.reqs = append(st.reqs, e.cart.Irecv(e.nbr[dim][side], faceTag(tagBase, bi, dim, side), st.recv[dim][side]))
+	}
+	for _, side := range []grid.Side{grid.Low, grid.High} {
+		if e.nbr[dim][side] == mpi.ProcNull {
+			continue
+		}
+		buf := st.send[dim][side]
+		pos := 0
+		for gi := st.b.Lo; gi < st.b.Hi; gi++ {
+			pos += src[gi].PackFace(dim, side, e.op.R, buf[pos:])
+		}
+		// My (dim, side) face fills the neighbour's opposite halo.
+		tag := faceTag(tagBase, bi, dim, side.Opposite())
+		e.cart.Isend(e.nbr[dim][side], tag, buf)
+		e.stats.note(int64(len(buf) * 8))
+	}
+}
+
+// finishExchange waits for the batch's transfers and installs received
+// surface points into the grids' halos.
+func (e *Engine) finishExchange(st *exchangeState, src []*grid.Grid) {
+	mpi.Waitall(st.reqs)
+	e.unpack(st, src)
+}
+
+// unpack copies every received face buffer into the halos of the batch.
+func (e *Engine) unpack(st *exchangeState, src []*grid.Grid) {
+	for dim := 0; dim < 3; dim++ {
+		faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
+		for _, side := range []grid.Side{grid.Low, grid.High} {
+			if e.nbr[dim][side] == mpi.ProcNull {
+				// Dirichlet boundary: halos were zeroed at allocation and
+				// stay zero.
+				continue
+			}
+			buf := st.recv[dim][side]
+			pos := 0
+			for gi := st.b.Lo; gi < st.b.Hi; gi++ {
+				src[gi].UnpackHalo(dim, side, e.op.R, buf[pos:pos+faceLen])
+				pos += faceLen
+			}
+		}
+	}
+	e.stats.Exchanges += int64(st.b.Size())
+}
+
+// exchangeSerialized performs the original GPAW pattern for one batch:
+// complete dimension 1, then dimension 2, then dimension 3 (section
+// IV.A), blocking on each.
+func (e *Engine) exchangeSerialized(st *exchangeState, src []*grid.Grid, tagBase, bi int) {
+	for dim := 0; dim < 3; dim++ {
+		st.reqs = st.reqs[:0]
+		e.postDim(st, src, tagBase, bi, dim)
+		mpi.Waitall(st.reqs)
+		// Install this dimension's halos before the next dimension runs
+		// (the serialized pattern's defining property).
+		faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
+		for _, side := range []grid.Side{grid.Low, grid.High} {
+			if e.nbr[dim][side] == mpi.ProcNull {
+				continue
+			}
+			buf := st.recv[dim][side]
+			pos := 0
+			for gi := st.b.Lo; gi < st.b.Hi; gi++ {
+				src[gi].UnpackHalo(dim, side, e.op.R, buf[pos:pos+faceLen])
+				pos += faceLen
+			}
+		}
+	}
+	e.stats.Exchanges += int64(st.b.Size())
+}
+
+// computeBatch applies the operator to every grid of the batch.
+func (e *Engine) computeBatch(dst, src []*grid.Grid, b Batch) {
+	for gi := b.Lo; gi < b.Hi; gi++ {
+		e.op.Apply(dst[gi], src[gi])
+	}
+}
+
+// applyGrids runs the configured protocol over one thread's share of the
+// grids. tagBase keeps concurrent threads' messages disjoint.
+func (e *Engine) applyGrids(dst, src []*grid.Grid, tagBase int, compute func(dst, src []*grid.Grid, b Batch)) {
+	if len(dst) != len(src) {
+		panic("core: dst/src length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	if compute == nil {
+		compute = e.computeBatch
+	}
+	batches := MakeBatches(len(src), e.opts.BatchSize, e.opts.BatchRamp)
+
+	if e.opts.Exchange == ExchangeSerialized {
+		st := &exchangeState{}
+		for bi, b := range batches {
+			st.b = b
+			e.exchangeSerialized(st, src, tagBase, bi)
+			compute(dst, src, b)
+		}
+		return
+	}
+
+	if !e.opts.DoubleBuffer {
+		st := &exchangeState{}
+		for bi, b := range batches {
+			st.b = b
+			e.startExchange(st, src, tagBase, bi)
+			e.finishExchange(st, src)
+			compute(dst, src, b)
+		}
+		return
+	}
+
+	// Double buffering (section V): keep the next batch's exchange in
+	// flight while computing the current one.
+	states := [2]*exchangeState{{}, {}}
+	states[0].b = batches[0]
+	e.startExchange(states[0], src, tagBase, 0)
+	for bi := range batches {
+		cur := states[bi%2]
+		if bi+1 < len(batches) {
+			nxt := states[(bi+1)%2]
+			nxt.b = batches[bi+1]
+			e.startExchange(nxt, src, tagBase, bi+1)
+		}
+		e.finishExchange(cur, src)
+		compute(dst, src, cur.b)
+	}
+}
+
+// tagStride returns the tag-space width reserved per thread for n grids.
+func tagStride(n int) int { return 6 * (n + 2) }
+
+// ApplyAll performs one application of the operator to every grid using
+// the engine's approach-independent protocol on the calling goroutine
+// (the flat layouts, one process per core).
+func (e *Engine) ApplyAll(dst, src []*grid.Grid) {
+	e.applyGrids(dst, src, 0, nil)
+}
+
+// ApplyAllHybridMultiple divides the grids among opts.Threads threads;
+// each thread runs the full protocol — including its own communication —
+// on its share (the hybrid multiple approach). The only synchronization
+// is the final join, whose cost does not grow with the number of grids.
+// The world must be in MULTIPLE thread mode.
+func (e *Engine) ApplyAllHybridMultiple(dst, src []*grid.Grid) {
+	t := e.opts.Threads
+	if e.cart.World().Mode() != mpi.ThreadMultiple {
+		panic("core: hybrid multiple requires a MULTIPLE-mode world")
+	}
+	stride := tagStride(len(src))
+	var wg sync.WaitGroup
+	for th := 0; th < t; th++ {
+		lo, n := topology.Split(len(src), t, th)
+		if n == 0 {
+			continue
+		}
+		th := th
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.applyGrids(dst[lo:hi], src[lo:hi], th*stride, nil)
+		}(lo, lo+n)
+	}
+	wg.Wait()
+}
+
+// ApplyAllHybridMasterOnly runs the protocol on the calling (master)
+// thread only — SINGLE thread mode suffices — but splits each grid's
+// computation across opts.Threads workers with a fork-join per grid, so
+// the synchronization cost grows with the number of grids (the paper's
+// explanation for this approach's inferior scaling).
+func (e *Engine) ApplyAllHybridMasterOnly(dst, src []*grid.Grid) {
+	t := e.opts.Threads
+	compute := func(dsts, srcs []*grid.Grid, b Batch) {
+		for gi := b.Lo; gi < b.Hi; gi++ {
+			var wg sync.WaitGroup
+			for th := 0; th < t; th++ {
+				x0, n := topology.Split(e.local[0], t, th)
+				if n == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(x0, x1, gi int) {
+					defer wg.Done()
+					e.op.ApplyRange(dsts[gi], srcs[gi], x0, x1)
+				}(x0, x0+n, gi)
+			}
+			wg.Wait() // per-grid join: cost proportional to #grids
+		}
+	}
+	e.applyGrids(dst, src, 0, compute)
+}
+
+// Apply dispatches to the approach-specific driver.
+func (e *Engine) Apply(a Approach, dst, src []*grid.Grid) {
+	switch a {
+	case FlatOriginal, FlatOptimized:
+		e.ApplyAll(dst, src)
+	case HybridMultiple:
+		e.ApplyAllHybridMultiple(dst, src)
+	case HybridMasterOnly:
+		e.ApplyAllHybridMasterOnly(dst, src)
+	default:
+		panic(fmt.Sprintf("core: unknown approach %d", int(a)))
+	}
+}

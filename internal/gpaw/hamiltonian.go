@@ -1,0 +1,104 @@
+package gpaw
+
+import (
+	"repro/internal/grid"
+	"repro/internal/stencil"
+)
+
+// Kinetic returns the -(1/2)∇² operator of the given radius and spacing:
+// the paper's 13-point stencil scaled for the Kohn–Sham equation.
+func Kinetic(r int, h float64) *stencil.Operator {
+	w := stencil.CentralWeights(r, 2, h)
+	s := make([]float64, len(w))
+	for i, v := range w {
+		s[i] = -0.5 * v
+	}
+	return stencil.NewOperator(r, s, s, s)
+}
+
+// Hamiltonian is a one-particle Kohn–Sham Hamiltonian H = -(1/2)∇² + V
+// with a local effective potential on the same grid as the
+// wave-functions.
+type Hamiltonian struct {
+	T  *stencil.Operator // kinetic operator
+	V  *grid.Grid        // local effective potential
+	BC Boundary
+}
+
+// NewHamiltonian builds H with the paper's radius-2 kinetic stencil.
+func NewHamiltonian(h float64, v *grid.Grid, bc Boundary) *Hamiltonian {
+	return &Hamiltonian{T: Kinetic(2, h), V: v, BC: bc}
+}
+
+// Apply computes dst = H psi. psi's halos are overwritten according to
+// the boundary condition.
+func (h *Hamiltonian) Apply(dst, psi *grid.Grid) {
+	fillHalos(psi, h.BC)
+	h.T.Apply(dst, psi)
+	if h.V == nil {
+		return
+	}
+	d := dst.Dims()
+	for i := 0; i < d[0]; i++ {
+		for j := 0; j < d[1]; j++ {
+			for k := 0; k < d[2]; k++ {
+				dst.Set(i, j, k, dst.At(i, j, k)+h.V.At(i, j, k)*psi.At(i, j, k))
+			}
+		}
+	}
+}
+
+// Expectation returns <psi|H|psi> / <psi|psi>.
+func (h *Hamiltonian) Expectation(psi *grid.Grid) float64 {
+	hp := grid.NewDims(psi.Dims(), psi.H)
+	h.Apply(hp, psi)
+	return psi.Dot(hp) / psi.Dot(psi)
+}
+
+// SpectralBound returns an upper bound on H's largest eigenvalue, used
+// to pick stable step sizes for the eigensolver: the kinetic bound
+// (sum of |coefficients|) plus the potential maximum.
+func (h *Hamiltonian) SpectralBound() float64 {
+	bound := 0.0
+	for _, c := range h.T.X {
+		if c < 0 {
+			bound -= c
+		} else {
+			bound += c
+		}
+	}
+	for _, c := range h.T.Y {
+		if c < 0 {
+			bound -= c
+		} else {
+			bound += c
+		}
+	}
+	for _, c := range h.T.Z {
+		if c < 0 {
+			bound -= c
+		} else {
+			bound += c
+		}
+	}
+	if h.T.Center > 0 {
+		bound += h.T.Center
+	} else {
+		bound -= h.T.Center
+	}
+	if h.V != nil {
+		vmax := 0.0
+		d := h.V.Dims()
+		for i := 0; i < d[0]; i++ {
+			for j := 0; j < d[1]; j++ {
+				for k := 0; k < d[2]; k++ {
+					if v := h.V.At(i, j, k); v > vmax {
+						vmax = v
+					}
+				}
+			}
+		}
+		bound += vmax
+	}
+	return bound
+}

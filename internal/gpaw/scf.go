@@ -1,0 +1,190 @@
+package gpaw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// System describes a closed-shell model system for the self-consistent
+// field loop: N electrons in an external potential on a real-space grid.
+type System struct {
+	Dims      topology.Dims
+	Spacing   float64
+	BC        Boundary
+	Vext      *grid.Grid // external potential
+	Electrons int        // total electrons; states = ceil(electrons/2)
+}
+
+// SCFResult reports a converged self-consistent calculation.
+type SCFResult struct {
+	Eigenvalues []float64 // occupied Kohn–Sham eigenvalues (Hartree)
+	Density     *grid.Grid
+	VHartree    *grid.Grid
+	Iterations  int
+	Residual    float64 // final density change (L2)
+}
+
+// SCF runs a simple self-consistent loop with Hartree and local-density
+// exchange (Slater Xα): diagonalize H[n], rebuild n, mix, repeat. It is
+// deliberately small — enough to generate the "thousands of
+// wave-functions, one density" workload shape the paper describes —
+// not a production DFT code.
+type SCF struct {
+	Sys     System
+	Mix     float64 // linear density mixing factor
+	Tol     float64 // density residual target
+	MaxIter int
+}
+
+// NewSCF builds an SCF driver with conservative defaults.
+func NewSCF(sys System) *SCF {
+	return &SCF{Sys: sys, Mix: 0.3, Tol: 1e-6, MaxIter: 60}
+}
+
+// states returns the number of doubly occupied orbitals.
+func (s *SCF) states() int { return (s.Sys.Electrons + 1) / 2 }
+
+// buildDensity assembles n(r) = Σ_i f_i |ψ_i|² normalized to the
+// electron count.
+func (s *SCF) buildDensity(psis []*grid.Grid) *grid.Grid {
+	n := grid.NewDims(s.Sys.Dims, psis[0].H)
+	dV := s.Sys.Spacing * s.Sys.Spacing * s.Sys.Spacing
+	remaining := float64(s.Sys.Electrons)
+	for _, psi := range psis {
+		occ := math.Min(2, remaining)
+		remaining -= occ
+		d := n.Dims()
+		for i := 0; i < d[0]; i++ {
+			for j := 0; j < d[1]; j++ {
+				for k := 0; k < d[2]; k++ {
+					v := psi.At(i, j, k)
+					n.Set(i, j, k, n.At(i, j, k)+occ*v*v)
+				}
+			}
+		}
+	}
+	// Wave-functions are dot-product normalized; scale so that
+	// ∫n dV = electrons.
+	total := n.Sum() * dV
+	if total > 0 {
+		n.Scale(float64(s.Sys.Electrons) / total)
+	}
+	return n
+}
+
+// xAlpha is the Slater exchange potential v_x = -(3 n / π)^(1/3).
+func xAlpha(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return -math.Cbrt(3 * n / math.Pi)
+}
+
+// Run executes the self-consistent loop.
+func (s *SCF) Run() (*SCFResult, error) {
+	if s.Sys.Electrons < 1 {
+		return nil, fmt.Errorf("gpaw: %d electrons", s.Sys.Electrons)
+	}
+	if s.Sys.Vext == nil {
+		return nil, fmt.Errorf("gpaw: missing external potential")
+	}
+	m := s.states()
+	halo := 2
+	psis := InitGuess(m, [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]}, halo)
+	poisson := NewPoisson(s.Spacing(), s.Sys.BC)
+	poisson.Tol = 1e-8
+
+	veff := s.Sys.Vext.Clone()
+	var n *grid.Grid
+	var eig []float64
+	for it := 1; it <= s.MaxIter; it++ {
+		h := NewHamiltonian(s.Spacing(), veff, s.Sys.BC)
+		es := NewEigenSolver(h)
+		es.Tol = 1e-7
+		es.MaxIter = 600
+		var err error
+		eig, err = es.Solve(psis)
+		if err != nil {
+			return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+		}
+		newN := s.buildDensity(psis)
+		var residual float64
+		if n == nil {
+			n = newN
+			residual = math.Inf(1)
+		} else {
+			diffNorm := 0.0
+			d := n.Dims()
+			for i := 0; i < d[0]; i++ {
+				for j := 0; j < d[1]; j++ {
+					for k := 0; k < d[2]; k++ {
+						diff := newN.At(i, j, k) - n.At(i, j, k)
+						diffNorm += diff * diff
+						n.Set(i, j, k, n.At(i, j, k)+s.Mix*diff)
+					}
+				}
+			}
+			residual = math.Sqrt(diffNorm)
+		}
+		vh, err := poisson.HartreePotential(n)
+		if err != nil {
+			return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
+		}
+		d := veff.Dims()
+		for i := 0; i < d[0]; i++ {
+			for j := 0; j < d[1]; j++ {
+				for k := 0; k < d[2]; k++ {
+					veff.Set(i, j, k, s.Sys.Vext.At(i, j, k)+vh.At(i, j, k)+xAlpha(n.At(i, j, k)))
+				}
+			}
+		}
+		if residual < s.Tol {
+			return &SCFResult{Eigenvalues: eig, Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
+		}
+		if it == s.MaxIter {
+			return &SCFResult{Eigenvalues: eig, Density: n, VHartree: vh, Iterations: it, Residual: residual},
+				fmt.Errorf("gpaw: SCF did not reach %g (residual %g)", s.Tol, residual)
+		}
+	}
+	return nil, fmt.Errorf("gpaw: unreachable")
+}
+
+// Spacing returns the grid spacing.
+func (s *SCF) Spacing() float64 { return s.Sys.Spacing }
+
+// HarmonicPotential fills a grid with V(r) = 1/2 ω² |r - center|², the
+// classic validation potential with analytic levels ω(n + 3/2).
+func HarmonicPotential(dims topology.Dims, h, omega float64) *grid.Grid {
+	v := grid.NewDims(dims, 2)
+	cx := float64(dims[0]-1) / 2
+	cy := float64(dims[1]-1) / 2
+	cz := float64(dims[2]-1) / 2
+	v.FillFunc(func(i, j, k int) float64 {
+		dx := (float64(i) - cx) * h
+		dy := (float64(j) - cy) * h
+		dz := (float64(k) - cz) * h
+		return 0.5 * omega * omega * (dx*dx + dy*dy + dz*dz)
+	})
+	return v
+}
+
+// GaussianDensity fills a grid with a normalized Gaussian charge of
+// standard deviation sigma centred in the box, total charge q.
+func GaussianDensity(dims topology.Dims, h, sigma, q float64) *grid.Grid {
+	g := grid.NewDims(dims, 2)
+	cx := float64(dims[0]-1) / 2
+	cy := float64(dims[1]-1) / 2
+	cz := float64(dims[2]-1) / 2
+	norm := q / math.Pow(2*math.Pi*sigma*sigma, 1.5)
+	g.FillFunc(func(i, j, k int) float64 {
+		dx := (float64(i) - cx) * h
+		dy := (float64(j) - cy) * h
+		dz := (float64(k) - cz) * h
+		r2 := dx*dx + dy*dy + dz*dz
+		return norm * math.Exp(-r2/(2*sigma*sigma))
+	})
+	return g
+}

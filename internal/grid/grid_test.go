@@ -1,0 +1,456 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	g := New(4, 5, 6, 2)
+	if g.Points() != 4*5*6 {
+		t.Fatalf("Points = %d", g.Points())
+	}
+	if g.Dims() != (topology.Dims{4, 5, 6}) {
+		t.Fatalf("Dims = %v", g.Dims())
+	}
+	g.Set(0, 0, 0, 1.5)
+	g.Set(3, 4, 5, 2.5)
+	g.Set(-2, -2, -2, 3.5) // halo corner
+	g.Set(5, 6, 7, 4.5)    // opposite halo corner
+	if g.At(0, 0, 0) != 1.5 || g.At(3, 4, 5) != 2.5 {
+		t.Fatal("interior read-back failed")
+	}
+	if g.At(-2, -2, -2) != 3.5 || g.At(5, 6, 7) != 4.5 {
+		t.Fatal("halo read-back failed")
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 1, 0) },
+		func() { New(1, -1, 1, 0) },
+		func() { New(1, 1, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad New args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistinctCellsDistinctIndices(t *testing.T) {
+	g := New(3, 4, 5, 1)
+	seen := map[int]bool{}
+	for i := -1; i < 4; i++ {
+		for j := -1; j < 5; j++ {
+			for k := -1; k < 6; k++ {
+				idx := g.Index(i, j, k)
+				if seen[idx] {
+					t.Fatalf("index collision at (%d,%d,%d)", i, j, k)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != 5*6*7 {
+		t.Fatalf("indexed %d cells, want %d", len(seen), 5*6*7)
+	}
+}
+
+func TestFillAndSum(t *testing.T) {
+	g := New(3, 3, 3, 2)
+	g.Fill(2)
+	if got := g.Sum(); got != 54 {
+		t.Fatalf("Sum = %g, want 54", got)
+	}
+	// Halos must be untouched by Fill.
+	if g.At(-1, 0, 0) != 0 {
+		t.Fatal("Fill wrote into halo")
+	}
+	g.Scale(0.5)
+	if got := g.Sum(); got != 27 {
+		t.Fatalf("after Scale, Sum = %g, want 27", got)
+	}
+}
+
+func TestFillFunc(t *testing.T) {
+	g := New(2, 2, 2, 0)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i*100 + j*10 + k) })
+	if g.At(1, 0, 1) != 101 {
+		t.Fatalf("At(1,0,1) = %g", g.At(1, 0, 1))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(2, 2, 2, 1)
+	g.Fill(1)
+	c := g.Clone()
+	c.Set(0, 0, 0, 9)
+	if g.At(0, 0, 0) == 9 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if c.MaxAbsDiff(g) != 8 {
+		t.Fatalf("MaxAbsDiff = %g, want 8", c.MaxAbsDiff(g))
+	}
+}
+
+func TestDotNormAxpy(t *testing.T) {
+	a := New(2, 2, 2, 0)
+	b := New(2, 2, 2, 0)
+	a.Fill(3)
+	b.Fill(2)
+	if got := a.Dot(b); got != 48 {
+		t.Fatalf("Dot = %g, want 48", got)
+	}
+	if got := a.Norm2(); math.Abs(got-math.Sqrt(72)) > 1e-12 {
+		t.Fatalf("Norm2 = %g", got)
+	}
+	a.Axpy(-1.5, b) // 3 - 3 = 0
+	if got := a.Norm2(); got != 0 {
+		t.Fatalf("after Axpy, Norm2 = %g, want 0", got)
+	}
+}
+
+func TestExtentMismatchPanics(t *testing.T) {
+	a := New(2, 2, 2, 0)
+	b := New(2, 2, 3, 0)
+	for name, f := range map[string]func(){
+		"Dot":              func() { a.Dot(b) },
+		"Axpy":             func() { a.Axpy(1, b) },
+		"MaxAbsDiff":       func() { a.MaxAbsDiff(b) },
+		"CopyInteriorFrom": func() { a.CopyInteriorFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched extents did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackUnpackFaceRoundTrip(t *testing.T) {
+	g := New(4, 5, 6, 2)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i*1000 + j*100 + k) })
+	for dim := 0; dim < 3; dim++ {
+		for _, side := range []Side{Low, High} {
+			n := g.FaceLen(dim, 2)
+			buf := make([]float64, n)
+			if got := g.PackFace(dim, side, 2, buf); got != n {
+				t.Fatalf("PackFace wrote %d, want %d", got, n)
+			}
+			// Unpack into the halo on the same side of a second grid and
+			// verify the halo content matches the packed interior slab.
+			h := New(4, 5, 6, 2)
+			if got := h.UnpackHalo(dim, side, 2, buf); got != n {
+				t.Fatalf("UnpackHalo read %d, want %d", got, n)
+			}
+			// Spot-check one value: the first packed element is the slab
+			// origin.
+			var want float64
+			switch dim {
+			case 0:
+				lo := 0
+				if side == High {
+					lo = g.Nx - 2
+				}
+				want = g.At(lo, 0, 0)
+				hlo := -2
+				if side == High {
+					hlo = g.Nx
+				}
+				if h.At(hlo, 0, 0) != want {
+					t.Fatalf("dim %d side %v: halo origin %g, want %g", dim, side, h.At(hlo, 0, 0), want)
+				}
+			case 1:
+				lo := 0
+				if side == High {
+					lo = g.Ny - 2
+				}
+				want = g.At(0, lo, 0)
+				hlo := -2
+				if side == High {
+					hlo = g.Ny
+				}
+				if h.At(0, hlo, 0) != want {
+					t.Fatalf("dim %d side %v halo mismatch", dim, side)
+				}
+			case 2:
+				lo := 0
+				if side == High {
+					lo = g.Nz - 2
+				}
+				want = g.At(0, 0, lo)
+				hlo := -2
+				if side == High {
+					hlo = g.Nz
+				}
+				if h.At(0, 0, hlo) != want {
+					t.Fatalf("dim %d side %v halo mismatch", dim, side)
+				}
+			}
+		}
+	}
+}
+
+func TestPackFaceBufferTooSmallPanics(t *testing.T) {
+	g := New(4, 4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer did not panic")
+		}
+	}()
+	g.PackFace(0, Low, 1, make([]float64, 3))
+}
+
+func TestFaceLenPanicsOnBadDim(t *testing.T) {
+	g := New(4, 4, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FaceLen(5) did not panic")
+		}
+	}()
+	g.FaceLen(5, 1)
+}
+
+func TestSideOpposite(t *testing.T) {
+	if Low.Opposite() != High || High.Opposite() != Low {
+		t.Fatal("Opposite broken")
+	}
+	if Low.String() != "low" || High.String() != "high" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestFillHalosPeriodic(t *testing.T) {
+	g := New(4, 5, 6, 2)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i*1000 + j*100 + k) })
+	g.FillHalosPeriodic()
+	wrap := func(v, n int) int { return ((v % n) + n) % n }
+	// Every halo cell must equal the periodic image of the interior,
+	// including edges and corners.
+	for i := -2; i < g.Nx+2; i++ {
+		for j := -2; j < g.Ny+2; j++ {
+			for k := -2; k < g.Nz+2; k++ {
+				want := float64(wrap(i, g.Nx)*1000 + wrap(j, g.Ny)*100 + wrap(k, g.Nz))
+				if got := g.At(i, j, k); got != want {
+					t.Fatalf("periodic halo (%d,%d,%d) = %g, want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFillHalosZero(t *testing.T) {
+	g := New(3, 3, 3, 1)
+	// Dirty every cell, then clear halos.
+	for i := -1; i < 4; i++ {
+		for j := -1; j < 4; j++ {
+			for k := -1; k < 4; k++ {
+				g.Set(i, j, k, 7)
+			}
+		}
+	}
+	g.FillHalosZero()
+	for i := -1; i < 4; i++ {
+		for j := -1; j < 4; j++ {
+			for k := -1; k < 4; k++ {
+				interior := i >= 0 && i < 3 && j >= 0 && j < 3 && k >= 0 && k < 3
+				got := g.At(i, j, k)
+				if interior && got != 7 {
+					t.Fatalf("interior (%d,%d,%d) clobbered", i, j, k)
+				}
+				if !interior && got != 0 {
+					t.Fatalf("halo (%d,%d,%d) = %g, want 0", i, j, k, got)
+				}
+			}
+		}
+	}
+}
+
+func TestHaloZeroNoHaloIsNoop(t *testing.T) {
+	g := New(2, 2, 2, 0)
+	g.Fill(5)
+	g.FillHalosZero()
+	g.FillHalosPeriodic()
+	if g.Sum() != 40 {
+		t.Fatalf("halo ops on halo-0 grid changed data: sum=%g", g.Sum())
+	}
+}
+
+// Property: pack/unpack through a buffer is the identity on face data for
+// random extents and thicknesses.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(nx, ny, nz, dim uint8, high bool) bool {
+		g := New(int(nx%5)+2, int(ny%5)+2, int(nz%5)+2, 2)
+		d := int(dim % 3)
+		side := Low
+		if high {
+			side = High
+		}
+		g.FillFunc(func(i, j, k int) float64 { return float64(i*10000 + j*100 + k) })
+		buf := make([]float64, g.FaceLen(d, 2))
+		g.PackFace(d, side, 2, buf)
+		h := New(g.Nx, g.Ny, g.Nz, 2)
+		h.UnpackHalo(d, side.Opposite(), 2, buf)
+		// Re-pack the halo via a second grid trick: pack from h's halo is
+		// not directly exposed, so verify via At on a sample of cells.
+		switch d {
+		case 0:
+			src := 0
+			if side == High {
+				src = g.Nx - 2
+			}
+			dst := -2
+			if side.Opposite() == High {
+				dst = g.Nx
+			}
+			for s := 0; s < 2; s++ {
+				for j := 0; j < g.Ny; j++ {
+					for k := 0; k < g.Nz; k++ {
+						if h.At(dst+s, j, k) != g.At(src+s, j, k) {
+							return false
+						}
+					}
+				}
+			}
+		case 1:
+			src := 0
+			if side == High {
+				src = g.Ny - 2
+			}
+			dst := -2
+			if side.Opposite() == High {
+				dst = g.Ny
+			}
+			for i := 0; i < g.Nx; i++ {
+				for s := 0; s < 2; s++ {
+					for k := 0; k < g.Nz; k++ {
+						if h.At(i, dst+s, k) != g.At(i, src+s, k) {
+							return false
+						}
+					}
+				}
+			}
+		case 2:
+			src := 0
+			if side == High {
+				src = g.Nz - 2
+			}
+			dst := -2
+			if side.Opposite() == High {
+				dst = g.Nz
+			}
+			for i := 0; i < g.Nx; i++ {
+				for j := 0; j < g.Ny; j++ {
+					for s := 0; s < 2; s++ {
+						if h.At(i, j, dst+s) != g.At(i, j, src+s) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompScatterGatherRoundTrip(t *testing.T) {
+	global := topology.Dims{12, 10, 8}
+	procs := topology.Dims{3, 2, 2}
+	d := MustDecomp(global, procs, 2)
+	if d.NumProcs() != 12 {
+		t.Fatalf("NumProcs = %d", d.NumProcs())
+	}
+	g := NewDims(global, 0)
+	g.FillFunc(func(i, j, k int) float64 { return float64(i*1e4 + j*1e2 + k) })
+	out := NewDims(global, 0)
+	for r := 0; r < procs.Count(); r++ {
+		c := procs.Coord(r)
+		local := d.Scatter(g, c)
+		if local.Dims() != d.LocalDims(c) {
+			t.Fatalf("local dims mismatch at %v", c)
+		}
+		d.Gather(out, c, local)
+	}
+	if g.MaxAbsDiff(out) != 0 {
+		t.Fatal("scatter/gather round trip lost data")
+	}
+}
+
+func TestNewDecompRejectsThinSubdomains(t *testing.T) {
+	// 8 points over 4 procs = 2-point sub-domains, thinner than halo 3.
+	if _, err := NewDecomp(topology.Dims{8, 8, 8}, topology.Dims{4, 1, 1}, 3); err == nil {
+		t.Fatal("thin sub-domain accepted")
+	}
+	if _, err := NewDecomp(topology.Dims{8, 8, 8}, topology.Dims{0, 1, 1}, 1); err == nil {
+		t.Fatal("zero process dimension accepted")
+	}
+	if _, err := NewDecomp(topology.Dims{2, 2, 2}, topology.Dims{4, 1, 1}, 0); err == nil {
+		t.Fatal("more procs than points accepted")
+	}
+	if _, err := NewDecomp(topology.Dims{8, 8, 8}, topology.Dims{2, 2, 2}, 2); err != nil {
+		t.Fatalf("valid decomp rejected: %v", err)
+	}
+}
+
+func TestMustDecompPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecomp did not panic on invalid input")
+		}
+	}()
+	MustDecomp(topology.Dims{4, 4, 4}, topology.Dims{8, 1, 1}, 2)
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, topology.Dims{2, 2, 2}, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.FillSeparable(func(g, i, j, k int) float64 { return float64(g*1000 + i*100 + j*10 + k) })
+	if s.Grids[2].At(1, 1, 1) != 2111 {
+		t.Fatalf("FillSeparable value = %g", s.Grids[2].At(1, 1, 1))
+	}
+	c := s.Clone()
+	c.Grids[0].Set(0, 0, 0, -1)
+	if s.Grids[0].At(0, 0, 0) == -1 {
+		t.Fatal("Clone shares grids")
+	}
+	if s.MaxAbsDiff(c) == 0 {
+		t.Fatal("MaxAbsDiff missed the difference")
+	}
+}
+
+func TestSetMaxAbsDiffPanicsOnLenMismatch(t *testing.T) {
+	a := NewSet(2, topology.Dims{2, 2, 2}, 0)
+	b := NewSet(3, topology.Dims{2, 2, 2}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	a.MaxAbsDiff(b)
+}
+
+func TestCopyInteriorFromDifferentHalo(t *testing.T) {
+	a := New(3, 3, 3, 2)
+	b := New(3, 3, 3, 0)
+	b.FillFunc(func(i, j, k int) float64 { return float64(i + j + k) })
+	a.CopyInteriorFrom(b)
+	if a.MaxAbsDiff(b) != 0 {
+		t.Fatal("CopyInteriorFrom across halo widths failed")
+	}
+}

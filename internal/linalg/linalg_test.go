@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSym(rng *rand.Rand, n int) Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	return a
+}
+
+func randomSPD(rng *rand.Rand, n int) Matrix {
+	b := NewMatrix(n, n)
+	for i := range b {
+		for j := range b[i] {
+			b[i][j] = rng.NormFloat64()
+		}
+	}
+	a := MatMul(b, Transpose(b))
+	for i := 0; i < n; i++ {
+		a[i][i] += float64(n) // well conditioned
+	}
+	return a
+}
+
+func TestIdentityAndClone(t *testing.T) {
+	i3 := Identity(3)
+	c := i3.Clone()
+	c[0][0] = 5
+	if i3[0][0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := Matrix{{1, 2}, {3, 4}}
+	b := Matrix{{5, 6}, {7, 8}}
+	c := MatMul(a, b)
+	want := Matrix{{19, 22}, {43, 50}}
+	if MaxAbsDiff(c, want) != 0 {
+		t.Fatalf("MatMul = %v", c)
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(Matrix{{1, 2}}, Matrix{{1, 2}})
+}
+
+func TestTranspose(t *testing.T) {
+	a := Matrix{{1, 2, 3}, {4, 5, 6}}
+	at := Transpose(a)
+	if len(at) != 3 || len(at[0]) != 2 || at[2][1] != 6 || at[0][1] != 4 {
+		t.Fatalf("Transpose = %v", at)
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := Matrix{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	eig, vecs := SymEig(a)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(eig[i]-want[i]) > 1e-12 {
+			t.Fatalf("eig = %v", eig)
+		}
+	}
+	// Eigenvector for eigenvalue 1 is e_1 (up to sign).
+	if math.Abs(math.Abs(vecs[1][0])-1) > 1e-12 {
+		t.Fatalf("vecs = %v", vecs)
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	eig, vecs := SymEig(Matrix{{2, 1}, {1, 2}})
+	if math.Abs(eig[0]-1) > 1e-12 || math.Abs(eig[1]-3) > 1e-12 {
+		t.Fatalf("eig = %v", eig)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	if math.Abs(math.Abs(vecs[0][1])-1/math.Sqrt2) > 1e-10 {
+		t.Fatalf("vecs = %v", vecs)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(9)
+		a := randomSym(rng, n)
+		eig, v := SymEig(a)
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if eig[i] < eig[i-1] {
+				t.Fatal("eigenvalues not ascending")
+			}
+		}
+		// A = V diag(eig) Vᵀ.
+		d := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			d[i][i] = eig[i]
+		}
+		rec := MatMul(MatMul(v, d), Transpose(v))
+		if MaxAbsDiff(rec, a) > 1e-9 {
+			t.Fatalf("trial %d: reconstruction error %g", trial, MaxAbsDiff(rec, a))
+		}
+		// Columns orthonormal: VᵀV = I.
+		vv := MatMul(Transpose(v), v)
+		if MaxAbsDiff(vv, Identity(n)) > 1e-10 {
+			t.Fatal("eigenvectors not orthonormal")
+		}
+	}
+}
+
+func TestSymEigTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := randomSym(rng, n)
+		eig, _ := SymEig(a)
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a[i][i]
+			sum += eig[i]
+		}
+		return math.Abs(trace-sum) < 1e-9*math.Max(1, math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := MatMul(l, Transpose(l))
+		if MaxAbsDiff(rec, a) > 1e-9 {
+			t.Fatalf("LLᵀ reconstruction error %g", MaxAbsDiff(rec, a))
+		}
+		// Upper triangle of L must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l[i][j] != 0 {
+					t.Fatal("L not lower triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, err := Cholesky(Matrix{{1, 0}, {0, -1}}); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(rng, 6)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Solve A x = b via L (Lᵀ x) = b.
+	y := ForwardSolve(l, b)
+	x := BackSolve(l, y)
+	// Check residual.
+	for i := 0; i < 6; i++ {
+		sum := 0.0
+		for j := 0; j < 6; j++ {
+			sum += a[i][j] * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("residual %g at row %d", sum-b[i], i)
+		}
+	}
+}
+
+func TestInvertLower(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 5)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := InvertLower(l)
+	prod := MatMul(l, inv)
+	if MaxAbsDiff(prod, Identity(5)) > 1e-10 {
+		t.Fatalf("L*L^-1 != I (err %g)", MaxAbsDiff(prod, Identity(5)))
+	}
+}

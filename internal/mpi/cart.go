@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Cart is a communicator with 3-D Cartesian topology information
+// attached, the analogue of a communicator produced by MPI_Cart_create.
+// On Blue Gene/P, MPI_Cart_create with reorder=true maps MPI ranks onto
+// the physical torus so that Cartesian neighbours are physical
+// neighbours; the paper uses this in all experiments. In this in-process
+// runtime reorder is the identity permutation, but the topology queries
+// behave identically.
+type Cart struct {
+	*Comm
+	Dims     topology.Dims
+	Periodic [3]bool
+}
+
+// CartCreate attaches a Cartesian topology of the given extents to the
+// communicator. The product of dims must equal the communicator size.
+// reorder is accepted for API fidelity; rank numbering is row-major
+// (x slowest), matching MPI_Cart_create's canonical ordering.
+func (c *Comm) CartCreate(dims topology.Dims, periodic [3]bool, reorder bool) *Cart {
+	if dims.Count() != c.Size() {
+		panic(fmt.Sprintf("mpi: cart dims %v product %d != comm size %d", dims, dims.Count(), c.Size()))
+	}
+	_ = reorder
+	return &Cart{Comm: c, Dims: dims, Periodic: periodic}
+}
+
+// Coords returns the Cartesian coordinates of a rank.
+func (ct *Cart) Coords(rank int) topology.Coord { return ct.Dims.Coord(rank) }
+
+// RankOf returns the rank at the given coordinates.
+func (ct *Cart) RankOf(coord topology.Coord) int { return ct.Dims.Rank(coord) }
+
+// ProcNull is returned by Shift for off-edge neighbours in
+// non-periodic dimensions, like MPI_PROC_NULL.
+const ProcNull = -2
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift): dst is disp steps in +dim, src is the
+// rank whose +disp shift lands here. In periodic dimensions coordinates
+// wrap; otherwise off-edge neighbours are ProcNull.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	me := ct.Coords(ct.Rank())
+	shift := func(c topology.Coord, delta int) int {
+		c[dim] += delta
+		n := ct.Dims[dim]
+		if c[dim] < 0 || c[dim] >= n {
+			if !ct.Periodic[dim] {
+				return ProcNull
+			}
+			c[dim] = ((c[dim] % n) + n) % n
+		}
+		return ct.RankOf(c)
+	}
+	return shift(me, -disp), shift(me, +disp)
+}

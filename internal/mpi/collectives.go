@@ -1,0 +1,231 @@
+package mpi
+
+import "fmt"
+
+// Collectives are implemented over point-to-point messages with reserved
+// negative tags derived from a per-rank collective sequence number. MPI
+// requires every rank of a communicator to invoke collectives in the same
+// order, so local counters agree across ranks and successive collectives
+// can never cross-match.
+
+// collTag returns the reserved tag for the n-th collective call on this
+// communicator.
+func collTag(seq uint64) int { return -2 - int(seq%(1<<30)) }
+
+// Op is a reduction operator for Reduce/Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduction op %d", o))
+	}
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+// Implemented as a dissemination barrier over point-to-point messages.
+func (c *Comm) Barrier() {
+	c.enter()
+	defer c.exit()
+	tag := collTag(c.coll)
+	c.coll++
+	p := len(c.group)
+	if p == 1 {
+		return
+	}
+	var token [1]float64
+	for round := 1; round < p; round *= 2 {
+		to := (c.rank + round) % p
+		from := (c.rank - round + p) % p
+		req := c.irecv(from, tag, token[:])
+		c.sendInternal(to, tag, token[:0])
+		req.Wait()
+	}
+}
+
+// Bcast copies buf from root to every rank (binomial tree). All ranks
+// must pass equal-length buffers.
+func (c *Comm) Bcast(root int, buf []float64) {
+	c.enter()
+	defer c.exit()
+	tag := collTag(c.coll)
+	c.coll++
+	p := len(c.group)
+	if p == 1 {
+		return
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.rank - root + p) % p
+	if vrank != 0 {
+		// Receive from parent.
+		mask := 1
+		for mask < p {
+			if vrank&mask != 0 {
+				parent := ((vrank - mask) + root) % p
+				c.irecv(parent, tag, buf).Wait()
+				break
+			}
+			mask <<= 1
+		}
+		// Forward to children below the found mask.
+		for child := mask >> 1; child > 0; child >>= 1 {
+			v := vrank | child
+			if v < p && v != vrank {
+				c.sendInternal((v+root)%p, tag, buf)
+			}
+		}
+	} else {
+		mask := 1
+		for mask < p {
+			mask <<= 1
+		}
+		for child := mask >> 1; child > 0; child >>= 1 {
+			if child < p {
+				c.sendInternal((child+root)%p, tag, buf)
+			}
+		}
+	}
+}
+
+// Reduce combines each rank's contribution into out at root using op.
+// Contributions are always folded in ascending rank order, so
+// floating-point results are deterministic run to run. out is only
+// written at root and must be as long as in there; in and out must not
+// alias.
+func (c *Comm) Reduce(root int, op Op, in, out []float64) {
+	c.enter()
+	defer c.exit()
+	tag := collTag(c.coll)
+	c.coll++
+	if c.rank != root {
+		c.sendInternal(root, tag, in)
+		return
+	}
+	if len(out) < len(in) {
+		panic("mpi: Reduce output shorter than input")
+	}
+	parts := make([][]float64, len(c.group))
+	parts[root] = append([]float64(nil), in...)
+	for r := 0; r < len(c.group); r++ {
+		if r == root {
+			continue
+		}
+		buf := make([]float64, len(in))
+		c.irecv(r, tag, buf).Wait()
+		parts[r] = buf
+	}
+	acc := out[:len(in)]
+	copy(acc, parts[0])
+	for r := 1; r < len(c.group); r++ {
+		op.apply(acc, parts[r])
+	}
+}
+
+// Allreduce combines every rank's contribution with op and distributes
+// the result to all ranks (Reduce to rank 0 + Bcast).
+func (c *Comm) Allreduce(op Op, in, out []float64) {
+	if len(out) < len(in) {
+		panic("mpi: Allreduce output shorter than input")
+	}
+	c.Reduce(0, op, in, out)
+	c.Bcast(0, out[:len(in)])
+}
+
+// AllreduceSum is a convenience wrapper reducing a single value.
+func (c *Comm) AllreduceSum(v float64) float64 {
+	in := [1]float64{v}
+	var out [1]float64
+	c.Allreduce(OpSum, in[:], out[:])
+	return out[0]
+}
+
+// Gather collects each rank's equal-length contribution at root, laid out
+// in rank order. out must be len(in)*Size() at root; it is ignored
+// elsewhere.
+func (c *Comm) Gather(root int, in, out []float64) {
+	c.enter()
+	defer c.exit()
+	tag := collTag(c.coll)
+	c.coll++
+	if c.rank == root {
+		if len(out) < len(in)*len(c.group) {
+			panic("mpi: Gather output too short")
+		}
+		copy(out[root*len(in):], in)
+		for r := 0; r < len(c.group); r++ {
+			if r == root {
+				continue
+			}
+			c.irecv(r, tag, out[r*len(in):(r+1)*len(in)]).Wait()
+		}
+		return
+	}
+	c.sendInternal(root, tag, in)
+}
+
+// Allgather is Gather to rank 0 followed by Bcast of the concatenation.
+func (c *Comm) Allgather(in, out []float64) {
+	if len(out) < len(in)*len(c.group) {
+		panic("mpi: Allgather output too short")
+	}
+	c.Gather(0, in, out)
+	c.Bcast(0, out[:len(in)*len(c.group)])
+}
+
+// Split partitions the communicator by color, ordering the new ranks by
+// key then by old rank (MPI_Comm_split). Every rank must call it; ranks
+// with the same color end up in the same new communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	// Exchange (color, key) pairs via Allgather.
+	in := []float64{float64(color), float64(key)}
+	out := make([]float64, 2*len(c.group))
+	c.Allgather(in, out)
+	type member struct{ color, key, oldRank int }
+	var mine []member
+	for r := 0; r < len(c.group); r++ {
+		col := int(out[2*r])
+		if col != color {
+			continue
+		}
+		mine = append(mine, member{col, int(out[2*r+1]), r})
+	}
+	// Sort by (key, oldRank) — insertion sort; communicators are small.
+	for i := 1; i < len(mine); i++ {
+		for j := i; j > 0 && (mine[j].key < mine[j-1].key ||
+			(mine[j].key == mine[j-1].key && mine[j].oldRank < mine[j-1].oldRank)); j-- {
+			mine[j], mine[j-1] = mine[j-1], mine[j]
+		}
+	}
+	group := make([]int, len(mine))
+	newRank := -1
+	for i, m := range mine {
+		group[i] = c.group[m.oldRank]
+		if m.oldRank == c.rank {
+			newRank = i
+		}
+	}
+	return &Comm{world: c.world, rank: newRank, group: group, active: c.active}
+}

@@ -1,0 +1,389 @@
+// Package mpi is an in-process message-passing runtime with MPI
+// semantics, standing in for the MPICH2 library the paper uses on Blue
+// Gene/P. Ranks are goroutines inside one OS process; messages are
+// copied through per-rank mailboxes with MPI's matching rules
+// (source + tag, FIFO non-overtaking per (source, tag) pair).
+//
+// The surface mirrors the MPI subset GPAW's finite-difference engine
+// needs: blocking and non-blocking point-to-point, request objects with
+// Wait/Waitall/Test, communicator split, Cartesian topologies
+// (MPI_Cart_create / MPI_Cart_shift), and the collectives used by the
+// surrounding DFT code (Barrier, Bcast, Reduce, Allreduce, Allgather).
+//
+// Thread support levels follow MPI-2: SINGLE (only one thread may call
+// into the library; violations are detected and panic, standing in for
+// the undefined behaviour of a real MPI) and MULTIPLE (any thread may
+// call at any time). The Blue Gene/P performance difference between the
+// two modes is modelled in internal/bgpsim; here the distinction is a
+// correctness contract.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ThreadMode is the MPI-2 thread support level of a World.
+type ThreadMode int
+
+const (
+	// ThreadSingle allows MPI calls from one thread per rank at a time.
+	ThreadSingle ThreadMode = iota
+	// ThreadMultiple allows fully concurrent MPI calls per rank.
+	ThreadMultiple
+)
+
+// String implements fmt.Stringer.
+func (m ThreadMode) String() string {
+	if m == ThreadSingle {
+		return "SINGLE"
+	}
+	return "MULTIPLE"
+}
+
+// AnySource matches messages from any sender in Recv/Irecv.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv/Irecv.
+const AnyTag = -1
+
+// envelope is a message in flight: an eager copy of the sender's data.
+type envelope struct {
+	src  int // sender's rank in the destination communicator
+	tag  int
+	data []float64
+	seq  uint64 // arrival order stamp, for deterministic matching
+}
+
+// pendingRecv is a posted receive waiting for a matching message.
+type pendingRecv struct {
+	src, tag int
+	req      *Request
+	buf      []float64
+}
+
+// mailbox holds a rank's unmatched arrived messages and posted receives.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived []*envelope
+	posted  []*pendingRecv
+	seq     uint64
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// World is a set of ranks that can exchange messages. It corresponds to
+// MPI_COMM_WORLD plus the process runtime.
+type World struct {
+	size  int
+	mode  ThreadMode
+	boxes []*mailbox
+
+	reqMu   sync.Mutex
+	pending map[*Request]struct{}
+	aborted bool
+}
+
+// NewWorld creates a world of n ranks with the given thread mode.
+func NewWorld(n int, mode ThreadMode) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("mpi: world of %d ranks", n))
+	}
+	w := &World{size: n, mode: mode, pending: make(map[*Request]struct{})}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}
+
+// track registers a live receive request so a world abort can unblock
+// its waiter.
+func (w *World) track(r *Request) {
+	w.reqMu.Lock()
+	aborted := w.aborted
+	w.pending[r] = struct{}{}
+	w.reqMu.Unlock()
+	if aborted {
+		r.completeErr(AnySource, AnyTag, 0, errAborted)
+	}
+}
+
+// untrack removes a completed request.
+func (w *World) untrack(r *Request) {
+	w.reqMu.Lock()
+	delete(w.pending, r)
+	w.reqMu.Unlock()
+}
+
+// errAborted is delivered to every blocked request when a rank panics,
+// so the remaining ranks unwind instead of deadlocking.
+var errAborted = fmt.Errorf("mpi: world aborted after a rank failure")
+
+// abort completes every pending request with an error and wakes all
+// mailbox waiters. Called once when any rank panics.
+func (w *World) abort() {
+	w.reqMu.Lock()
+	w.aborted = true
+	reqs := make([]*Request, 0, len(w.pending))
+	for r := range w.pending {
+		reqs = append(reqs, r)
+	}
+	w.pending = make(map[*Request]struct{})
+	w.reqMu.Unlock()
+	for _, r := range reqs {
+		r.completeErr(AnySource, AnyTag, 0, errAborted)
+	}
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.aborted = true
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Mode returns the world's thread support level.
+func (w *World) Mode() ThreadMode { return w.mode }
+
+// Comm is a communicator: a view of a subset of world ranks with its own
+// rank numbering. The zero value is not usable.
+type Comm struct {
+	world *World
+	rank  int   // rank within this communicator
+	group []int // communicator rank -> world rank
+
+	active *int32 // concurrent-call detector shared per (world rank)
+	coll   uint64 // per-rank collective sequence number (local, no lock)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// World returns the underlying world.
+func (c *Comm) World() *World { return c.world }
+
+// enter/exit implement the SINGLE-mode misuse detector.
+func (c *Comm) enter() {
+	if c.world.mode == ThreadSingle {
+		if n := atomic.AddInt32(c.active, 1); n > 1 {
+			panic("mpi: concurrent MPI calls from multiple threads in SINGLE mode")
+		}
+	}
+}
+
+func (c *Comm) exit() {
+	if c.world.mode == ThreadSingle {
+		atomic.AddInt32(c.active, -1)
+	}
+}
+
+// Run spawns n goroutine ranks executing body and waits for all of them.
+// A panic in any rank is recovered and returned as an error (first one
+// wins); remaining ranks may deadlock-free finish or be abandoned — the
+// world must not be reused after an error.
+func Run(n int, mode ThreadMode, body func(c *Comm)) error {
+	w := NewWorld(n, mode)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("mpi: rank %d panicked: %v", r, p))
+					// Unblock every other rank so the process can unwind.
+					w.abort()
+				}
+			}()
+			var active int32
+			c := &Comm{world: w, rank: r, group: group, active: &active}
+			body(c)
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// worldRank maps a communicator rank to the world rank.
+func (c *Comm) worldRank(commRank int) int {
+	if commRank < 0 || commRank >= len(c.group) {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", commRank, len(c.group)))
+	}
+	return c.group[commRank]
+}
+
+// Send delivers an eager copy of data to rank `to` with the given tag.
+// It corresponds to a buffered MPI_Send and never blocks.
+func (c *Comm) Send(to, tag int, data []float64) {
+	c.enter()
+	defer c.exit()
+	c.send(to, tag, data)
+}
+
+func (c *Comm) send(to, tag int, data []float64) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative user tag %d", tag))
+	}
+	c.sendInternal(to, tag, data)
+}
+
+// sendInternal is send without the tag-sign restriction; collectives use
+// negative tags so they can never collide with user point-to-point
+// traffic.
+func (c *Comm) sendInternal(to, tag int, data []float64) {
+	box := c.world.boxes[c.worldRank(to)]
+	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...)}
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	box.seq++
+	env.seq = box.seq
+	// Try to match a posted receive first, in post order.
+	for i, pr := range box.posted {
+		if pr == nil {
+			continue
+		}
+		if (pr.src == AnySource || pr.src == env.src) && (pr.tag == AnyTag || pr.tag == env.tag) {
+			box.posted[i] = nil
+			completeRecv(pr, env)
+			c.world.untrack(pr.req)
+			box.cond.Broadcast()
+			return
+		}
+	}
+	box.arrived = append(box.arrived, env)
+	box.cond.Broadcast()
+}
+
+// completeRecv copies the envelope into the posted buffer and completes
+// the request. Caller holds the mailbox lock. A message larger than the
+// posted buffer is a truncation error, surfaced as a panic at the
+// receiver's Wait (never in the sender's goroutine, which may be a
+// different rank).
+func completeRecv(pr *pendingRecv, env *envelope) {
+	n := copy(pr.buf, env.data)
+	if len(env.data) > len(pr.buf) {
+		pr.req.completeErr(env.src, env.tag, n,
+			fmt.Errorf("mpi: message of %d values truncated into buffer of %d", len(env.data), len(pr.buf)))
+		return
+	}
+	pr.req.complete(env.src, env.tag, n)
+}
+
+// Recv blocks until a message matching (from, tag) arrives, copies it
+// into buf, and returns the source rank, tag and value count. from may be
+// AnySource and tag may be AnyTag.
+func (c *Comm) Recv(from, tag int, buf []float64) (src, gotTag, n int) {
+	c.enter()
+	defer c.exit()
+	req := c.irecv(from, tag, buf)
+	return req.Wait()
+}
+
+// Isend initiates a non-blocking send and returns its request. With the
+// eager-copy transport the request is already complete; the object exists
+// so protocol code can be written exactly as with a real MPI.
+func (c *Comm) Isend(to, tag int, data []float64) *Request {
+	c.enter()
+	defer c.exit()
+	c.send(to, tag, data)
+	r := newRequest()
+	r.complete(c.rank, tag, len(data))
+	return r
+}
+
+// Irecv posts a non-blocking receive into buf and returns its request.
+func (c *Comm) Irecv(from, tag int, buf []float64) *Request {
+	c.enter()
+	defer c.exit()
+	return c.irecv(from, tag, buf)
+}
+
+func (c *Comm) irecv(from, tag int, buf []float64) *Request {
+	box := c.world.boxes[c.worldRank(c.rank)]
+	req := newRequest()
+	pr := &pendingRecv{src: from, tag: tag, req: req, buf: buf}
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	// Match the earliest arrived envelope (FIFO per source/tag is
+	// guaranteed because arrived is scanned in arrival order).
+	for i, env := range box.arrived {
+		if env == nil {
+			continue
+		}
+		if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
+			box.arrived = append(box.arrived[:i], box.arrived[i+1:]...)
+			completeRecv(pr, env)
+			return req
+		}
+	}
+	box.posted = append(box.posted, pr)
+	c.world.track(req)
+	// Garbage-collect matched slots occasionally to bound growth.
+	if len(box.posted) > 64 {
+		live := box.posted[:0]
+		for _, p := range box.posted {
+			if p != nil {
+				live = append(live, p)
+			}
+		}
+		box.posted = live
+	}
+	return req
+}
+
+// Sendrecv sends one buffer and receives another in a single, deadlock-
+// free operation (MPI_Sendrecv).
+func (c *Comm) Sendrecv(to, sendTag int, sendBuf []float64, from, recvTag int, recvBuf []float64) (n int) {
+	c.enter()
+	defer c.exit()
+	req := c.irecv(from, recvTag, recvBuf)
+	c.send(to, sendTag, sendBuf)
+	_, _, n = req.Wait()
+	return n
+}
+
+// Probe blocks until a matching message is available without receiving
+// it, returning its source, tag, and length.
+func (c *Comm) Probe(from, tag int) (src, gotTag, n int) {
+	c.enter()
+	defer c.exit()
+	box := c.world.boxes[c.worldRank(c.rank)]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		if box.aborted {
+			panic(errAborted)
+		}
+		for _, env := range box.arrived {
+			if env == nil {
+				continue
+			}
+			if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
+				return env.src, env.tag, len(env.data)
+			}
+		}
+		box.cond.Wait()
+	}
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import "sync"
+
+// Request tracks the completion of a non-blocking operation, like
+// MPI_Request. Requests are created by Isend/Irecv and completed by the
+// runtime; Wait blocks until completion.
+//
+// Errors detected at delivery time (message truncation, world abort
+// after a rank panic) are stored on the request and surfaced as a panic
+// in the waiter's goroutine — the MPI convention that receive-side
+// errors belong to the receiver.
+type Request struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+	src  int
+	tag  int
+	n    int
+	err  error
+}
+
+func newRequest() *Request {
+	r := &Request{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// complete marks the request done with the given status and wakes
+// waiters.
+func (r *Request) complete(src, tag, n int) { r.completeErr(src, tag, n, nil) }
+
+// completeErr marks the request done, possibly with a delivery error.
+func (r *Request) completeErr(src, tag, n int, err error) {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return
+	}
+	r.done = true
+	r.src, r.tag, r.n = src, tag, n
+	r.err = err
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// Wait blocks until the operation completes and returns the message
+// source, tag and value count (sends report their own rank and length).
+// Delivery errors panic in the caller, to be recovered by Run.
+func (r *Request) Wait() (src, tag, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.done {
+		r.cond.Wait()
+	}
+	if r.err != nil {
+		panic(r.err)
+	}
+	return r.src, r.tag, r.n
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done
+}
+
+// Waitall blocks until every request in reqs completes. Nil entries are
+// ignored, matching MPI_REQUEST_NULL.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

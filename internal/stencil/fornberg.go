@@ -1,0 +1,77 @@
+// Package stencil implements the finite-difference operators at the heart
+// of GPAW: central-difference stencils on uniform 3-D real-space grids.
+// The paper's operator is the 13-point stencil — a linear combination of a
+// point, its two nearest neighbours in all six axis directions — which is
+// the fourth-order central-difference Laplacian (radius 2 per axis).
+//
+// Coefficients for arbitrary radius and derivative order are generated
+// with Fornberg's algorithm, so higher-order operators used elsewhere in
+// GPAW are available too.
+package stencil
+
+import "fmt"
+
+// Weights computes finite-difference weights by Fornberg's method
+// (B. Fornberg, "Generation of Finite Difference Formulas on Arbitrarily
+// Spaced Grids", Math. Comp. 51 (1988) 699-706).
+//
+// Given sample locations xs and an evaluation point z, it returns
+// c[j][k] = the weight of sample j in the approximation of the k-th
+// derivative at z, for k = 0..m. len(xs) must exceed m.
+func Weights(z float64, xs []float64, m int) [][]float64 {
+	n := len(xs) - 1
+	if n < m {
+		panic(fmt.Sprintf("stencil: %d points cannot resolve derivative order %d", n+1, m))
+	}
+	c := make([][]float64, n+1)
+	for i := range c {
+		c[i] = make([]float64, m+1)
+	}
+	c1 := 1.0
+	c4 := xs[0] - z
+	c[0][0] = 1
+	for i := 1; i <= n; i++ {
+		mn := i
+		if mn > m {
+			mn = m
+		}
+		c2 := 1.0
+		c5 := c4
+		c4 = xs[i] - z
+		for j := 0; j < i; j++ {
+			c3 := xs[i] - xs[j]
+			c2 *= c3
+			if j == i-1 {
+				for k := mn; k >= 1; k-- {
+					c[i][k] = c1 * (float64(k)*c[i-1][k-1] - c5*c[i-1][k]) / c2
+				}
+				c[i][0] = -c1 * c5 * c[i-1][0] / c2
+			}
+			for k := mn; k >= 1; k-- {
+				c[j][k] = (c4*c[j][k] - float64(k)*c[j][k-1]) / c3
+			}
+			c[j][0] = c4 * c[j][0] / c3
+		}
+		c1 = c2
+	}
+	return c
+}
+
+// CentralWeights returns the weights of the 2R+1-point central-difference
+// approximation to the m-th derivative on a uniform grid with spacing h.
+// The returned slice has length 2R+1 indexed by offset+R.
+func CentralWeights(r, m int, h float64) []float64 {
+	if r < 1 {
+		panic(fmt.Sprintf("stencil: radius %d < 1", r))
+	}
+	xs := make([]float64, 2*r+1)
+	for i := range xs {
+		xs[i] = float64(i-r) * h
+	}
+	w := Weights(0, xs, m)
+	out := make([]float64, 2*r+1)
+	for i := range out {
+		out[i] = w[i][m]
+	}
+	return out
+}

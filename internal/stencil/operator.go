@@ -1,0 +1,166 @@
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Operator is a separable axis-aligned stencil: the output at a point is
+//
+//	out = Center*in(p) + Σ_axis Σ_{o=-R..R, o≠0} C_axis[o]*in(p + o*e_axis)
+//
+// which for R = 2 is exactly the paper's 13-point operation
+// (C1..C13 in section II.A). Coefficient slices have length 2R+1 and are
+// indexed by offset+R; the center entries of X, Y, Z must be zero — the
+// merged center weight lives in Center.
+type Operator struct {
+	R       int
+	Center  float64
+	X, Y, Z []float64
+}
+
+// NewOperator builds an operator from per-axis coefficient slices of
+// length 2R+1 (center entries included). The three axis centers are
+// merged into Center.
+func NewOperator(r int, cx, cy, cz []float64) *Operator {
+	if len(cx) != 2*r+1 || len(cy) != 2*r+1 || len(cz) != 2*r+1 {
+		panic(fmt.Sprintf("stencil: coefficient length must be %d", 2*r+1))
+	}
+	op := &Operator{
+		R: r,
+		X: append([]float64(nil), cx...),
+		Y: append([]float64(nil), cy...),
+		Z: append([]float64(nil), cz...),
+	}
+	op.Center = op.X[r] + op.Y[r] + op.Z[r]
+	op.X[r], op.Y[r], op.Z[r] = 0, 0, 0
+	return op
+}
+
+// Laplacian returns the central-difference approximation of ∇² with the
+// given per-axis radius on a uniform grid with spacing h. Radius 2 gives
+// the paper's 13-point, fourth-order operator.
+func Laplacian(r int, h float64) *Operator {
+	w := CentralWeights(r, 2, h)
+	return NewOperator(r, w, w, w)
+}
+
+// Points returns the number of grid points the stencil reads (13 for
+// radius 2).
+func (op *Operator) Points() int { return 6*op.R + 1 }
+
+// FlopsPerPoint returns the floating-point operations per output point:
+// one multiply per read plus adds to combine them.
+func (op *Operator) FlopsPerPoint() int { return 2*op.Points() - 1 }
+
+// BytesPerPoint returns the main-memory traffic per output point for a
+// streaming implementation: one read of the input and one write of the
+// output (neighbour reuse is served by cache).
+func (op *Operator) BytesPerPoint() int { return 16 }
+
+// Apply computes dst = op(src) over the interior of src, reading halo
+// cells of src up to distance R. Halos must have been filled beforehand
+// (by grid.FillHalosPeriodic, grid.FillHalosZero, or a distributed halo
+// exchange). dst and src must have identical interiors and src's halo
+// must be at least R.
+func (op *Operator) Apply(dst, src *grid.Grid) {
+	if dst.Nx != src.Nx || dst.Ny != src.Ny || dst.Nz != src.Nz {
+		panic("stencil: Apply extent mismatch")
+	}
+	if src.H < op.R {
+		panic(fmt.Sprintf("stencil: source halo %d < stencil radius %d", src.H, op.R))
+	}
+	op.ApplyRange(dst, src, 0, src.Nx)
+}
+
+// ApplyRange computes dst = op(src) for interior planes i in [x0, x1).
+// It is the work-splitting primitive used by the hybrid master-only
+// approach, where one grid's computation is divided across threads.
+func (op *Operator) ApplyRange(dst, src *grid.Grid, x0, x1 int) {
+	r := op.R
+	sx, sy := src.Strides()
+	in := src.Data()
+	out := dst.Data()
+	center := op.Center
+
+	// Per-axis nonzero taps, flattened into (offset-in-floats, coeff).
+	type tap struct {
+		off int
+		c   float64
+	}
+	taps := make([]tap, 0, 6*r)
+	for o := -r; o <= r; o++ {
+		if o == 0 {
+			continue
+		}
+		if c := op.X[o+r]; c != 0 {
+			taps = append(taps, tap{o * sx, c})
+		}
+	}
+	for o := -r; o <= r; o++ {
+		if o == 0 {
+			continue
+		}
+		if c := op.Y[o+r]; c != 0 {
+			taps = append(taps, tap{o * sy, c})
+		}
+	}
+	for o := -r; o <= r; o++ {
+		if o == 0 {
+			continue
+		}
+		if c := op.Z[o+r]; c != 0 {
+			taps = append(taps, tap{o, c})
+		}
+	}
+
+	for i := x0; i < x1; i++ {
+		for j := 0; j < src.Ny; j++ {
+			srow := src.Index(i, j, 0)
+			drow := dst.Index(i, j, 0)
+			switch len(taps) {
+			case 12:
+				// Fast path for the paper's radius-2 operator: unrolled
+				// 13-point kernel (center + 12 taps).
+				t := taps
+				for k := 0; k < src.Nz; k++ {
+					s := srow + k
+					v := center * in[s]
+					v += t[0].c*in[s+t[0].off] + t[1].c*in[s+t[1].off] +
+						t[2].c*in[s+t[2].off] + t[3].c*in[s+t[3].off]
+					v += t[4].c*in[s+t[4].off] + t[5].c*in[s+t[5].off] +
+						t[6].c*in[s+t[6].off] + t[7].c*in[s+t[7].off]
+					v += t[8].c*in[s+t[8].off] + t[9].c*in[s+t[9].off] +
+						t[10].c*in[s+t[10].off] + t[11].c*in[s+t[11].off]
+					out[drow+k] = v
+				}
+			default:
+				for k := 0; k < src.Nz; k++ {
+					s := srow + k
+					v := center * in[s]
+					for _, tp := range taps {
+						v += tp.c * in[s+tp.off]
+					}
+					out[drow+k] = v
+				}
+			}
+		}
+	}
+}
+
+// ApplyPeriodicReference fills src's halos periodically and applies the
+// operator. It is the sequential reference implementation the
+// distributed engine is verified against, and corresponds to running
+// GPAW on a single process.
+func (op *Operator) ApplyPeriodicReference(dst, src *grid.Grid) {
+	src.FillHalosPeriodic()
+	op.Apply(dst, src)
+}
+
+// ApplyZeroReference fills src's halos with zeros (Dirichlet boundary)
+// and applies the operator.
+func (op *Operator) ApplyZeroReference(dst, src *grid.Grid) {
+	src.FillHalosZero()
+	op.Apply(dst, src)
+}
