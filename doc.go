@@ -16,7 +16,13 @@
 //     that replays the protocols at up to 16 384 cores and regenerates
 //     every figure of the paper's evaluation.
 //   - internal/grid, internal/stencil — real-space grids with halos and
-//     the 13-point finite-difference operator (Fornberg coefficients).
+//     the 13-point finite-difference operator (Fornberg coefficients),
+//     plus the shared-memory parallel execution engine: a persistent
+//     worker pool with cache-blocked plane/tile work splitting, fused
+//     stencil+BLAS-1 kernels (apply-with-dot, residual, smooth, damped
+//     step) that cut the memory passes of a solver iteration roughly in
+//     half, fused single-sweep grid primitives, and a traffic counter
+//     that makes the savings observable (BENCH_stencil.json).
 //   - internal/gpaw, internal/linalg — a miniature real-space DFT stack
 //     (Poisson, Kohn–Sham eigensolver, SCF) providing the workload
 //     context GPAW gives the kernel.

@@ -26,7 +26,16 @@ type Engine struct {
 	// (mpi.ProcNull when non-periodic at an edge).
 	nbr [3][2]int
 
-	stats Stats
+	// pool is the per-node worker pool shared by both hybrid
+	// approaches (nil when opts.Threads == 1): hybrid multiple splits
+	// whole grids across its workers, hybrid master-only splits each
+	// grid's planes.
+	pool *stencil.Pool
+
+	// statsMu guards stats: hybrid multiple runs the communication
+	// protocol on several pool workers at once.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // Stats accumulates per-rank communication accounting.
@@ -36,6 +45,24 @@ type Stats struct {
 	LargestMsg   int64
 	SmallestMsg  int64
 	Exchanges    int64 // halo exchanges performed (grids x applications)
+
+	// anyMsg distinguishes "no messages yet" from a genuine smallest
+	// message of 0 bytes, so SmallestMsg is not misreported.
+	anyMsg bool
+}
+
+// noteSent records one sent message under the stats lock.
+func (e *Engine) noteSent(bytes int64) {
+	e.statsMu.Lock()
+	e.stats.note(bytes)
+	e.statsMu.Unlock()
+}
+
+// noteExchanges records completed halo exchanges under the stats lock.
+func (e *Engine) noteExchanges(n int64) {
+	e.statsMu.Lock()
+	e.stats.Exchanges += n
+	e.statsMu.Unlock()
 }
 
 // note records one sent message.
@@ -45,8 +72,9 @@ func (s *Stats) note(bytes int64) {
 	if bytes > s.LargestMsg {
 		s.LargestMsg = bytes
 	}
-	if s.SmallestMsg == 0 || bytes < s.SmallestMsg {
+	if !s.anyMsg || bytes < s.SmallestMsg {
 		s.SmallestMsg = bytes
+		s.anyMsg = true
 	}
 }
 
@@ -73,8 +101,15 @@ func NewEngine(cart *mpi.Cart, d *grid.Decomp, op *stencil.Operator, periodic bo
 		e.nbr[dim][int(grid.Low)] = lo
 		e.nbr[dim][int(grid.High)] = hi
 	}
+	if opts.Threads > 1 {
+		e.pool = stencil.NewPool(opts.Threads)
+	}
 	return e, nil
 }
+
+// Close releases the engine's worker pool. The engine must not be used
+// afterwards.
+func (e *Engine) Close() { e.pool.Close() }
 
 // LocalDims returns the extents of this rank's sub-domain.
 func (e *Engine) LocalDims() topology.Dims { return e.local }
@@ -83,10 +118,18 @@ func (e *Engine) LocalDims() topology.Dims { return e.local }
 func (e *Engine) Coord() topology.Coord { return e.coord }
 
 // Stats returns the accumulated communication statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
 
 // ResetStats clears the accumulated statistics.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() {
+	e.statsMu.Lock()
+	e.stats = Stats{}
+	e.statsMu.Unlock()
+}
 
 // NewLocalGrid allocates a local grid matching this rank's sub-domain.
 func (e *Engine) NewLocalGrid() *grid.Grid { return grid.NewDims(e.local, e.decomp.Halo) }
@@ -182,7 +225,7 @@ func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim i
 		// My (dim, side) face fills the neighbour's opposite halo.
 		tag := faceTag(tagBase, bi, dim, side.Opposite())
 		e.cart.Isend(e.nbr[dim][side], tag, buf)
-		e.stats.note(int64(len(buf) * 8))
+		e.noteSent(int64(len(buf) * 8))
 	}
 }
 
@@ -211,7 +254,7 @@ func (e *Engine) unpack(st *exchangeState, src []*grid.Grid) {
 			}
 		}
 	}
-	e.stats.Exchanges += int64(st.b.Size())
+	e.noteExchanges(int64(st.b.Size()))
 }
 
 // exchangeSerialized performs the original GPAW pattern for one batch:
@@ -237,7 +280,7 @@ func (e *Engine) exchangeSerialized(st *exchangeState, src []*grid.Grid, tagBase
 			}
 		}
 	}
-	e.stats.Exchanges += int64(st.b.Size())
+	e.noteExchanges(int64(st.b.Size()))
 }
 
 // computeBatch applies the operator to every grid of the batch.
@@ -309,55 +352,31 @@ func (e *Engine) ApplyAll(dst, src []*grid.Grid) {
 	e.applyGrids(dst, src, 0, nil)
 }
 
-// ApplyAllHybridMultiple divides the grids among opts.Threads threads;
-// each thread runs the full protocol — including its own communication —
-// on its share (the hybrid multiple approach). The only synchronization
-// is the final join, whose cost does not grow with the number of grids.
-// The world must be in MULTIPLE thread mode.
+// ApplyAllHybridMultiple divides the grids among the engine's worker
+// pool; each worker runs the full protocol — including its own
+// communication — on its share (the hybrid multiple approach). The only
+// synchronization is the final join, whose cost does not grow with the
+// number of grids. The world must be in MULTIPLE thread mode.
 func (e *Engine) ApplyAllHybridMultiple(dst, src []*grid.Grid) {
-	t := e.opts.Threads
 	if e.cart.World().Mode() != mpi.ThreadMultiple {
 		panic("core: hybrid multiple requires a MULTIPLE-mode world")
 	}
 	stride := tagStride(len(src))
-	var wg sync.WaitGroup
-	for th := 0; th < t; th++ {
-		lo, n := topology.Split(len(src), t, th)
-		if n == 0 {
-			continue
-		}
-		th := th
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			e.applyGrids(dst[lo:hi], src[lo:hi], th*stride, nil)
-		}(lo, lo+n)
-	}
-	wg.Wait()
+	e.pool.Exec(len(src), func(w, lo, hi int) {
+		e.applyGrids(dst[lo:hi], src[lo:hi], w*stride, nil)
+	})
 }
 
 // ApplyAllHybridMasterOnly runs the protocol on the calling (master)
 // thread only — SINGLE thread mode suffices — but splits each grid's
-// computation across opts.Threads workers with a fork-join per grid, so
+// computation across the same worker pool with a fork-join per grid, so
 // the synchronization cost grows with the number of grids (the paper's
 // explanation for this approach's inferior scaling).
 func (e *Engine) ApplyAllHybridMasterOnly(dst, src []*grid.Grid) {
-	t := e.opts.Threads
 	compute := func(dsts, srcs []*grid.Grid, b Batch) {
 		for gi := b.Lo; gi < b.Hi; gi++ {
-			var wg sync.WaitGroup
-			for th := 0; th < t; th++ {
-				x0, n := topology.Split(e.local[0], t, th)
-				if n == 0 {
-					continue
-				}
-				wg.Add(1)
-				go func(x0, x1, gi int) {
-					defer wg.Done()
-					e.op.ApplyRange(dsts[gi], srcs[gi], x0, x1)
-				}(x0, x0+n, gi)
-			}
-			wg.Wait() // per-grid join: cost proportional to #grids
+			// Per-grid fork-join: cost proportional to #grids.
+			e.op.ApplyParallel(e.pool, dsts[gi], srcs[gi])
 		}
 	}
 	e.applyGrids(dst, src, 0, compute)

@@ -103,6 +103,7 @@ func (j Job) Run(gather bool) (*Result, error) {
 		if err != nil {
 			panic(err)
 		}
+		defer eng.Close()
 		coord := eng.Coord()
 		off := decomp.Offset(coord)
 

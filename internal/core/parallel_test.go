@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllApproachesAllWorkerCounts verifies the acceptance property of
+// the parallel execution engine: every approach produces results
+// bit-identical to the sequential reference for worker counts 1, 2, 4
+// and 8 per node.
+func TestAllApproachesAllWorkerCounts(t *testing.T) {
+	for _, a := range Approaches {
+		for _, threads := range []int{1, 2, 4, 8} {
+			a, threads := a, threads
+			t.Run(fmt.Sprintf("%s/threads%d", a, threads), func(t *testing.T) {
+				j := baseJob()
+				j.Approach = a
+				j.Threads = threads
+				j.Cores = 8
+				if a.Hybrid() && j.Cores%threads != 0 {
+					j.Cores = threads
+				}
+				verifyJob(t, j)
+			})
+		}
+	}
+}
+
+// TestStatsSmallestMsgZeroByte: a genuine 0-byte first message must be
+// reported as the smallest, and later larger messages must not displace
+// it (regression test for the SmallestMsg == 0 sentinel).
+func TestStatsSmallestMsgZeroByte(t *testing.T) {
+	var s Stats
+	s.note(0)
+	if s.SmallestMsg != 0 || s.MessagesSent != 1 {
+		t.Fatalf("after 0-byte note: smallest = %d, messages = %d", s.SmallestMsg, s.MessagesSent)
+	}
+	s.note(64)
+	if s.SmallestMsg != 0 {
+		t.Fatalf("64-byte message displaced the 0-byte smallest: %d", s.SmallestMsg)
+	}
+	if s.LargestMsg != 64 {
+		t.Fatalf("largest = %d, want 64", s.LargestMsg)
+	}
+
+	var s2 Stats
+	s2.note(128)
+	s2.note(32)
+	if s2.SmallestMsg != 32 || s2.LargestMsg != 128 {
+		t.Fatalf("smallest/largest = %d/%d, want 32/128", s2.SmallestMsg, s2.LargestMsg)
+	}
+}

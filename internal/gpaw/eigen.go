@@ -6,13 +6,17 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/linalg"
+	"repro/internal/stencil"
 )
 
 // EigenSolver finds the lowest eigenstates of a Hamiltonian by damped
 // subspace (block power) iteration with Rayleigh–Ritz rotation — the
 // same ingredients as GPAW's self-consistent eigensolvers: apply H to
 // every wave-function (the paper's dominant finite-difference workload),
-// orthonormalize, diagonalize in the subspace.
+// orthonormalize, diagonalize in the subspace. The damped step runs as
+// one fused stencil sweep per state, subspace matrices are assembled
+// with the dot products spread across the worker pool, and rotations
+// write each new state in a single linear-combination sweep.
 type EigenSolver struct {
 	H       *Hamiltonian
 	Tol     float64 // eigenvalue convergence threshold (Hartree)
@@ -28,44 +32,101 @@ func NewEigenSolver(h *Hamiltonian) *EigenSolver {
 // dV = h^3 to approximate integrals; eigenvalues are dV-invariant so the
 // solver works with raw dot products.
 
-// Orthonormalize performs Löwdin-style orthonormalization via the
+// symMatrix fills the symmetric matrix out[i][j] = f(i, j) for j >= i,
+// with the independent entries divided across the pool's workers.
+func symMatrix(p *stencil.Pool, m int, out linalg.Matrix, f func(i, j int) float64) {
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, m*(m+1)/2)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	p.Exec(len(pairs), func(_, lo, hi int) {
+		for n := lo; n < hi; n++ {
+			pr := pairs[n]
+			v := f(pr.i, pr.j)
+			out[pr.i][pr.j], out[pr.j][pr.i] = v, v
+		}
+	})
+}
+
+// Orthonormalize performs Löwdin-style orthonormalization on the
+// process-wide worker pool. See OrthonormalizeWith.
+func Orthonormalize(psis []*grid.Grid) error {
+	return OrthonormalizeWith(stencil.Shared(), psis)
+}
+
+// OrthonormalizeWith performs Löwdin-style orthonormalization via the
 // Cholesky factor of the overlap matrix: Ψ ← Ψ L⁻ᵀ, preserving the
 // spanned subspace. This mirrors GPAW's orthogonalization step, which is
 // the reason every rank must hold the same sub-domain of every grid.
-func Orthonormalize(psis []*grid.Grid) error {
+// Matrix assembly and rotation run on the given pool (nil for serial).
+func OrthonormalizeWith(pool *stencil.Pool, psis []*grid.Grid) error {
 	m := len(psis)
 	s := linalg.NewMatrix(m, m)
-	for i := 0; i < m; i++ {
-		for j := i; j < m; j++ {
-			v := psis[i].Dot(psis[j])
-			s[i][j], s[j][i] = v, v
-		}
-	}
+	symMatrix(pool, m, s, func(i, j int) float64 { return psis[i].Dot(psis[j]) })
 	l, err := linalg.Cholesky(s)
 	if err != nil {
 		return fmt.Errorf("gpaw: overlap not positive definite (linearly dependent states): %w", err)
 	}
 	linv := linalg.InvertLower(l)
-	rotate(psis, linalg.Transpose(linv))
+	rotate(pool, psis, linalg.Transpose(linv))
 	return nil
 }
 
 // rotate replaces psis by psis * C (column convention: new_j = Σ_i
-// old_i C[i][j]).
-func rotate(psis []*grid.Grid, c linalg.Matrix) {
+// old_i C[i][j]). Each output state is produced in one fused
+// linear-combination sweep over the old states' rows, and the states
+// are divided across the pool's workers.
+func rotate(p *stencil.Pool, psis []*grid.Grid, c linalg.Matrix) {
 	m := len(psis)
 	olds := make([]*grid.Grid, m)
 	for i := range psis {
 		olds[i] = psis[i].Clone()
 	}
-	for j := 0; j < m; j++ {
-		psis[j].Fill(0)
-		for i := 0; i < m; i++ {
-			if c[i][j] != 0 {
-				psis[j].Axpy(c[i][j], olds[i])
+	p.Exec(m, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			lincombInto(psis[j], c, j, olds)
+		}
+	})
+}
+
+// lincombInto writes dst = Σ_i c[i][col]*srcs[i] row by row,
+// accumulating each point in index order (the same addition order as
+// the Fill+Axpy chain it replaces, in m+1 memory passes instead of
+// 4m+1). Zero coefficients are skipped. The sources are clones of dst
+// (identical extents and halo), so dst's row offsets address their
+// storage directly.
+func lincombInto(dst *grid.Grid, c linalg.Matrix, col int, srcs []*grid.Grid) {
+	type term struct {
+		data []float64
+		c    float64
+	}
+	terms := make([]term, 0, len(srcs))
+	for i, src := range srcs {
+		if src.Nx != dst.Nx || src.Ny != dst.Ny || src.Nz != dst.Nz || src.H != dst.H {
+			panic("gpaw: lincombInto layout mismatch")
+		}
+		if c[i][col] != 0 {
+			terms = append(terms, term{src.Data(), c[i][col]})
+		}
+	}
+	out := dst.Data()
+	for i := 0; i < dst.Nx; i++ {
+		for j := 0; j < dst.Ny; j++ {
+			drow := dst.Index(i, j, 0)
+			clear(out[drow : drow+dst.Nz])
+			for _, tm := range terms {
+				src := tm.data
+				ct := tm.c
+				for k := 0; k < dst.Nz; k++ {
+					out[drow+k] += ct * src[drow+k]
+				}
 			}
 		}
 	}
+	grid.NoteTraffic(dst.Points(), len(terms)+1)
 }
 
 // RayleighRitz diagonalizes H in the span of psis: it computes the
@@ -79,40 +140,40 @@ func RayleighRitz(h *Hamiltonian, psis []*grid.Grid) []float64 {
 		h.Apply(hp[i], psis[i])
 	}
 	hm := linalg.NewMatrix(m, m)
-	for i := 0; i < m; i++ {
-		for j := i; j < m; j++ {
-			v := psis[i].Dot(hp[j])
-			hm[i][j], hm[j][i] = v, v
-		}
-	}
+	symMatrix(h.Pool, m, hm, func(i, j int) float64 { return psis[i].Dot(hp[j]) })
 	eig, vecs := linalg.SymEig(hm)
-	rotate(psis, vecs)
+	rotate(h.Pool, psis, vecs)
 	return eig
 }
 
-// Solve iterates psis (initial guesses, modified in place) toward the
-// lowest len(psis) eigenstates and returns their eigenvalues ascending.
+// Solve iterates psis (initial guesses) toward the lowest len(psis)
+// eigenstates and returns their eigenvalues ascending. The slice
+// elements are updated to hold the converged states, but the damped
+// step ping-pongs through an internal buffer, so individual *grid.Grid
+// objects may be replaced: read states through the slice after Solve
+// returns, not through element pointers saved beforehand.
 func (es *EigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 	if len(psis) == 0 {
 		return nil, fmt.Errorf("gpaw: no states to solve")
 	}
-	if err := Orthonormalize(psis); err != nil {
+	if err := OrthonormalizeWith(es.H.Pool, psis); err != nil {
 		return nil, err
 	}
 	tau := 1.0 / es.H.SpectralBound()
-	hp := grid.NewDims(psis[0].Dims(), psis[0].H)
+	buf := grid.NewDims(psis[0].Dims(), psis[0].H)
 	prev := make([]float64, len(psis))
 	for i := range prev {
 		prev[i] = math.Inf(1)
 	}
 	for it := 1; it <= es.MaxIter; it++ {
-		// Damped power step toward the low end of the spectrum:
-		// psi <- psi - tau*H*psi.
-		for _, psi := range psis {
-			es.H.Apply(hp, psi)
-			psi.Axpy(-tau, hp)
+		// Damped power step toward the low end of the spectrum,
+		// psi <- psi - tau*H*psi, as one fused sweep per state; the
+		// step lands in buf and the buffers are swapped.
+		for i, psi := range psis {
+			es.H.Step(buf, psi, tau)
+			psis[i], buf = buf, psi
 		}
-		if err := Orthonormalize(psis); err != nil {
+		if err := OrthonormalizeWith(es.H.Pool, psis); err != nil {
 			return nil, err
 		}
 		eig := RayleighRitz(es.H, psis)

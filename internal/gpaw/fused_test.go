@@ -1,0 +1,175 @@
+package gpaw
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/stencil"
+	"repro/internal/topology"
+)
+
+// fusedProblem builds a smooth Dirichlet Poisson problem.
+func fusedProblem(n int) (rhs *grid.Grid) {
+	rhs = GaussianDensity(topology.Dims{n, n, n}, 0.35, 0.9, 1)
+	rhs.Scale(-1)
+	return rhs
+}
+
+// TestFusedCGMatchesReference: the fused conjugate-gradient path must
+// converge to the same solution as the unfused reference formulation.
+func TestFusedCGMatchesReference(t *testing.T) {
+	rhs := fusedProblem(14)
+	ps := NewPoisson(0.35, Dirichlet)
+
+	phiRef := grid.New(14, 14, 14, 2)
+	itRef, _, err := ps.SolveCGReference(phiRef, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiFused := grid.New(14, 14, 14, 2)
+	itFused, _, err := ps.SolveCG(phiFused, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := phiRef.MaxAbsDiff(phiFused); d > 1e-6 {
+		t.Fatalf("fused CG deviates from reference by %g", d)
+	}
+	// Same algorithm, same tolerance: iteration counts must agree up to
+	// rounding-induced wiggle.
+	if diff := itRef - itFused; diff < -3 || diff > 3 {
+		t.Fatalf("iteration counts diverged: reference %d, fused %d", itRef, itFused)
+	}
+}
+
+// TestFusedCGWorkerCountInvariant: pooled reductions are per-plane
+// deterministic, so the fused solver's result must be identical for
+// every worker count.
+func TestFusedCGWorkerCountInvariant(t *testing.T) {
+	rhs := fusedProblem(12)
+	var ref *grid.Grid
+	for _, w := range []int{1, 2, 4, 8} {
+		ps := NewPoisson(0.35, Dirichlet)
+		ps.Pool = stencil.NewPool(w)
+		phi := grid.New(12, 12, 12, 2)
+		if _, _, err := ps.SolveCG(phi, rhs); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = phi
+		} else if d := ref.MaxAbsDiff(phi); d != 0 {
+			t.Fatalf("workers=%d: solution deviates from workers=1 by %g", w, d)
+		}
+		ps.Pool.Close()
+	}
+}
+
+// TestFusedCGReducesTraffic is the acceptance assertion for the fused
+// execution engine: a fused CG iteration must make measurably fewer
+// full-grid memory passes than the unfused reference iteration
+// (roughly 11 streams vs 19 for the Dirichlet problem).
+func TestFusedCGReducesTraffic(t *testing.T) {
+	rhs := fusedProblem(14)
+	ps := NewPoisson(0.35, Dirichlet)
+	ps.Pool = nil // serial: identical sweep structure, no pool overhead
+
+	phi := grid.New(14, 14, 14, 2)
+	grid.ResetTraffic()
+	itRef, _, err := ps.SolveCGReference(phi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPerIter := float64(grid.TrafficPoints()) / float64(itRef)
+
+	phi = grid.New(14, 14, 14, 2)
+	grid.ResetTraffic()
+	itFused, _, err := ps.SolveCG(phi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedPerIter := float64(grid.TrafficPoints()) / float64(itFused)
+	grid.ResetTraffic()
+
+	t.Logf("grid passes per CG iteration: reference %.1f, fused %.1f (x%.2f)",
+		refPerIter/float64(rhs.Points()), fusedPerIter/float64(rhs.Points()),
+		refPerIter/fusedPerIter)
+	if fusedPerIter >= 0.75*refPerIter {
+		t.Fatalf("fused CG iteration moves %.0f point-streams, reference %.0f; want < 75%%",
+			fusedPerIter, refPerIter)
+	}
+}
+
+// TestFusedJacobiReducesTraffic: the fused Jacobi iteration (fused
+// residual-with-norm plus axpy, 6 streams) versus the unfused chain
+// (Apply+Scale+Axpy+Dot+Axpy, 12 streams).
+func TestFusedJacobiReducesTraffic(t *testing.T) {
+	rhs := fusedProblem(12)
+	ps := NewPoisson(0.35, Dirichlet)
+	ps.Pool = nil
+	ps.Tol = 1e-6
+	phi := grid.New(12, 12, 12, 2)
+	grid.ResetTraffic()
+	it, _, err := ps.SolveJacobi(phi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := float64(grid.TrafficPoints()) / float64(it) / float64(rhs.Points())
+	grid.ResetTraffic()
+	// 3 (fused residual) + 3 (axpy) = 6, plus amortized setup.
+	if perIter > 7 {
+		t.Fatalf("fused Jacobi iteration makes %.2f passes, want <= 7", perIter)
+	}
+}
+
+// TestMultigridPoolInvariant: the pooled multigrid solver must produce
+// identical results for every worker count.
+func TestMultigridPoolInvariant(t *testing.T) {
+	rhs := fusedProblem(16)
+	var ref *grid.Grid
+	for _, w := range []int{1, 4} {
+		mg, err := NewMultigrid(topology.Dims{16, 16, 16}, 0.35, Dirichlet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg.Pool = stencil.NewPool(w)
+		phi := grid.New(16, 16, 16, 2)
+		if _, _, err := mg.Solve(phi, rhs); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = phi
+		} else if d := ref.MaxAbsDiff(phi); d != 0 {
+			t.Fatalf("workers=%d: multigrid deviates by %g", w, d)
+		}
+		mg.Pool.Close()
+	}
+}
+
+// TestEigenSolverPoolInvariant: the fused eigensolver must produce
+// identical eigenvalues for every worker count.
+func TestEigenSolverPoolInvariant(t *testing.T) {
+	dims := topology.Dims{10, 10, 10}
+	v := HarmonicPotential(dims, 0.4, 0.7)
+	var ref []float64
+	for _, w := range []int{1, 4} {
+		ham := NewHamiltonian(0.4, v, Dirichlet)
+		ham.Pool = stencil.NewPool(w)
+		es := NewEigenSolver(ham)
+		es.Tol = 1e-7
+		es.MaxIter = 400
+		psis := InitGuess(2, [3]int{10, 10, 10}, 2)
+		eig, err := es.Solve(psis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = eig
+		} else {
+			for i := range eig {
+				if eig[i] != ref[i] {
+					t.Fatalf("workers=%d: eigenvalue %d = %.17g, want %.17g", w, i, eig[i], ref[i])
+				}
+			}
+		}
+		ham.Pool.Close()
+	}
+}

@@ -8,44 +8,39 @@ import (
 // Kinetic returns the -(1/2)∇² operator of the given radius and spacing:
 // the paper's 13-point stencil scaled for the Kohn–Sham equation.
 func Kinetic(r int, h float64) *stencil.Operator {
-	w := stencil.CentralWeights(r, 2, h)
-	s := make([]float64, len(w))
-	for i, v := range w {
-		s[i] = -0.5 * v
-	}
-	return stencil.NewOperator(r, s, s, s)
+	return stencil.Laplacian(r, h).Scaled(-0.5)
 }
 
 // Hamiltonian is a one-particle Kohn–Sham Hamiltonian H = -(1/2)∇² + V
 // with a local effective potential on the same grid as the
 // wave-functions.
 type Hamiltonian struct {
-	T  *stencil.Operator // kinetic operator
-	V  *grid.Grid        // local effective potential
-	BC Boundary
+	T    *stencil.Operator // kinetic operator
+	V    *grid.Grid        // local effective potential
+	BC   Boundary
+	Pool *stencil.Pool // worker pool for grid sweeps; nil runs serial
 }
 
-// NewHamiltonian builds H with the paper's radius-2 kinetic stencil.
+// NewHamiltonian builds H with the paper's radius-2 kinetic stencil,
+// running on the process-wide worker pool.
 func NewHamiltonian(h float64, v *grid.Grid, bc Boundary) *Hamiltonian {
-	return &Hamiltonian{T: Kinetic(2, h), V: v, BC: bc}
+	return &Hamiltonian{T: Kinetic(2, h), V: v, BC: bc, Pool: stencil.Shared()}
 }
 
-// Apply computes dst = H psi. psi's halos are overwritten according to
-// the boundary condition.
+// Apply computes dst = H psi in one fused sweep (kinetic stencil plus
+// potential term). psi's halos are overwritten according to the
+// boundary condition.
 func (h *Hamiltonian) Apply(dst, psi *grid.Grid) {
 	fillHalos(psi, h.BC)
-	h.T.Apply(dst, psi)
-	if h.V == nil {
-		return
-	}
-	d := dst.Dims()
-	for i := 0; i < d[0]; i++ {
-		for j := 0; j < d[1]; j++ {
-			for k := 0; k < d[2]; k++ {
-				dst.Set(i, j, k, dst.At(i, j, k)+h.V.At(i, j, k)*psi.At(i, j, k))
-			}
-		}
-	}
+	h.T.ApplyStep(h.Pool, dst, psi, h.V, 1, 0)
+}
+
+// Step computes dst = psi - tau*H(psi) in one fused sweep — the
+// eigensolver's damped power iteration without a separate H
+// application and axpy pass.
+func (h *Hamiltonian) Step(dst, psi *grid.Grid, tau float64) {
+	fillHalos(psi, h.BC)
+	h.T.ApplyStep(h.Pool, dst, psi, h.V, -tau, 1)
 }
 
 // Expectation returns <psi|H|psi> / <psi|psi>.

@@ -2,6 +2,7 @@ package gpaw
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/grid"
 	"repro/internal/stencil"
@@ -12,13 +13,17 @@ import (
 // production Poisson solver uses. Each level rediscretizes the
 // Laplacian at twice the spacing; full-weighting restriction moves
 // residuals down, trilinear prolongation moves corrections up, and
-// damped Jacobi smooths at every level.
+// damped Jacobi smooths at every level. Smoothing ping-pongs between
+// two buffers with the fused ApplySmooth kernel (one sweep per
+// relaxation instead of four), and the transfer operators run as flat
+// slice sweeps split across the worker pool.
 type Multigrid struct {
 	BC         Boundary
 	Tol        float64
 	MaxCycles  int
 	PreSmooth  int
 	PostSmooth int
+	Pool       *stencil.Pool // worker pool for grid sweeps; nil runs serial
 
 	levels []*mgLevel
 }
@@ -36,7 +41,7 @@ type mgLevel struct {
 // extents and spacing. Every dimension is halved while all extents stay
 // even and above 4 points.
 func NewMultigrid(dims topology.Dims, h float64, bc Boundary) (*Multigrid, error) {
-	mg := &Multigrid{BC: bc, Tol: 1e-8, MaxCycles: 60, PreSmooth: 3, PostSmooth: 3}
+	mg := &Multigrid{BC: bc, Tol: 1e-8, MaxCycles: 60, PreSmooth: 3, PostSmooth: 3, Pool: stencil.Shared()}
 	d := dims
 	spacing := h
 	for {
@@ -61,62 +66,81 @@ func NewMultigrid(dims topology.Dims, h float64, bc Boundary) (*Multigrid, error
 // Levels returns the depth of the hierarchy.
 func (mg *Multigrid) Levels() int { return len(mg.levels) }
 
-// smooth runs n damped Jacobi sweeps of A phi = rhs on one level.
+// smooth runs n damped Jacobi sweeps of A phi = rhs on one level. Each
+// sweep is one fused pass (dst = phi + c*(rhs - A phi)) ping-ponging
+// between phi and the level's residual scratch; an odd sweep count ends
+// with a copy back into phi.
 func (mg *Multigrid) smooth(lv *mgLevel, phi, rhs *grid.Grid, n int) {
 	const omega = 0.8
-	diag := lv.op.Center
-	tmp := lv.res
+	c := omega / lv.op.Center
+	src, dst := phi, lv.res
 	for s := 0; s < n; s++ {
-		fillHalos(phi, mg.BC)
-		lv.op.Apply(tmp, phi)
-		tmp.Scale(-1)
-		tmp.Axpy(1, rhs)
-		phi.Axpy(omega/diag, tmp)
+		fillHalos(src, mg.BC)
+		lv.op.ApplySmooth(mg.Pool, dst, src, rhs, c)
+		src, dst = dst, src
+	}
+	if src != phi {
+		mg.Pool.Copy(phi, src)
 	}
 }
 
-// residualInto computes res = rhs - A phi on one level.
-func (mg *Multigrid) residualInto(lv *mgLevel, res, phi, rhs *grid.Grid) {
+// residualInto computes res = rhs - A phi in one fused sweep and
+// returns |res|^2.
+func (mg *Multigrid) residualInto(lv *mgLevel, res, phi, rhs *grid.Grid) float64 {
 	fillHalos(phi, mg.BC)
-	lv.op.Apply(res, phi)
-	res.Scale(-1)
-	res.Axpy(1, rhs)
+	return lv.op.ApplyResidual(mg.Pool, res, rhs, phi)
 }
 
-// restrict full-weights fine into coarse (fine dims are exactly twice
-// coarse dims). The 2x2x2 cell average is the 3-D full-weighting
-// operator for cell-centred grids.
-func restrictFull(fine, coarse *grid.Grid) {
+// restrictFull full-weights fine into coarse (fine dims are exactly
+// twice coarse dims). The 2x2x2 cell average is the 3-D full-weighting
+// operator for cell-centred grids; the sweep is split over coarse x
+// planes.
+func restrictFull(p *stencil.Pool, fine, coarse *grid.Grid) {
 	d := coarse.Dims()
-	for i := 0; i < d[0]; i++ {
-		for j := 0; j < d[1]; j++ {
-			for k := 0; k < d[2]; k++ {
-				sum := 0.0
-				for di := 0; di < 2; di++ {
-					for dj := 0; dj < 2; dj++ {
-						for dk := 0; dk < 2; dk++ {
-							sum += fine.At(2*i+di, 2*j+dj, 2*k+dk)
-						}
-					}
+	fd := fine.Data()
+	cd := coarse.Data()
+	p.Exec(d[0], func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			for j := 0; j < d[1]; j++ {
+				crow := coarse.Index(i, j, 0)
+				f00 := fine.Index(2*i, 2*j, 0)
+				f01 := fine.Index(2*i, 2*j+1, 0)
+				f10 := fine.Index(2*i+1, 2*j, 0)
+				f11 := fine.Index(2*i+1, 2*j+1, 0)
+				for k := 0; k < d[2]; k++ {
+					k2 := 2 * k
+					sum := fd[f00+k2] + fd[f00+k2+1] +
+						fd[f01+k2] + fd[f01+k2+1] +
+						fd[f10+k2] + fd[f10+k2+1] +
+						fd[f11+k2] + fd[f11+k2+1]
+					cd[crow+k] = sum / 8
 				}
-				coarse.Set(i, j, k, sum/8)
 			}
 		}
-	}
+	})
+	grid.NoteTraffic(fine.Points()+coarse.Points(), 1)
 }
 
 // prolongInto adds the piecewise-constant interpolation of coarse onto
 // fine (the adjoint of full weighting up to scale); with the smoothing
-// sweeps around it, constant prolongation is sufficient and cheap.
-func prolongInto(coarse, fine *grid.Grid) {
+// sweeps around it, constant prolongation is sufficient and cheap. The
+// sweep is split over fine x planes.
+func prolongInto(p *stencil.Pool, coarse, fine *grid.Grid) {
 	d := fine.Dims()
-	for i := 0; i < d[0]; i++ {
-		for j := 0; j < d[1]; j++ {
-			for k := 0; k < d[2]; k++ {
-				fine.Set(i, j, k, fine.At(i, j, k)+coarse.At(i/2, j/2, k/2))
+	fd := fine.Data()
+	cd := coarse.Data()
+	p.Exec(d[0], func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			for j := 0; j < d[1]; j++ {
+				frow := fine.Index(i, j, 0)
+				crow := coarse.Index(i/2, j/2, 0)
+				for k := 0; k < d[2]; k++ {
+					fd[frow+k] += cd[crow+k/2]
+				}
 			}
 		}
-	}
+	})
+	grid.NoteTraffic(2*fine.Points()+coarse.Points(), 1)
 }
 
 // vcycle performs one V-cycle starting at level l for A phi = rhs.
@@ -129,10 +153,10 @@ func (mg *Multigrid) vcycle(l int, phi, rhs *grid.Grid) {
 	mg.smooth(lv, phi, rhs, mg.PreSmooth)
 	mg.residualInto(lv, lv.res, phi, rhs)
 	next := mg.levels[l+1]
-	restrictFull(lv.res, next.rhs)
+	restrictFull(mg.Pool, lv.res, next.rhs)
 	next.phi.Zero()
 	mg.vcycle(l+1, next.phi, next.rhs)
-	prolongInto(next.phi, phi)
+	prolongInto(mg.Pool, next.phi, phi)
 	mg.smooth(lv, phi, rhs, mg.PostSmooth)
 }
 
@@ -146,7 +170,7 @@ func (mg *Multigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
 	}
 	b := rhs.Clone()
 	if mg.BC == Periodic {
-		removeMean(b)
+		removeMean(mg.Pool, b)
 	}
 	norm0 := b.Norm2()
 	if norm0 == 0 {
@@ -156,15 +180,13 @@ func (mg *Multigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
 	for cyc := 1; cyc <= mg.MaxCycles; cyc++ {
 		mg.vcycle(0, phi, b)
 		if mg.BC == Periodic {
-			removeMean(phi)
+			removeMean(mg.Pool, phi)
 		}
-		mg.residualInto(top, top.res, phi, b)
-		rel := top.res.Norm2() / norm0
+		rel := math.Sqrt(mg.residualInto(top, top.res, phi, b)) / norm0
 		if rel < mg.Tol {
 			return cyc, rel, nil
 		}
 	}
-	mg.residualInto(top, top.res, phi, b)
-	rel := top.res.Norm2() / norm0
+	rel := math.Sqrt(mg.residualInto(top, top.res, phi, b)) / norm0
 	return mg.MaxCycles, rel, fmt.Errorf("gpaw: multigrid did not converge (residual %g)", rel)
 }

@@ -5,6 +5,11 @@
 // on real-space grids, with thousands of wave-function grids all
 // decomposed identically — using the operators of internal/stencil.
 //
+// Every solver runs on the shared-memory worker pool of
+// internal/stencil and on its fused kernels, so each iteration makes
+// roughly half the full-grid memory passes of the textbook chains
+// (see the internal/stencil package comment for the traffic model).
+//
 // Units are Hartree atomic units: the kinetic operator is -(1/2)∇², the
 // Hartree potential solves ∇²v = -4πn.
 package gpaw
@@ -54,24 +59,26 @@ type Poisson struct {
 	BC      Boundary
 	Tol     float64 // relative residual target
 	MaxIter int
+	Pool    *stencil.Pool // worker pool for grid sweeps; nil runs serial
 }
 
-// NewPoisson builds a solver with the paper's radius-2 Laplacian.
+// NewPoisson builds a solver with the paper's radius-2 Laplacian,
+// running on the process-wide worker pool.
 func NewPoisson(h float64, bc Boundary) *Poisson {
-	return &Poisson{Op: stencil.Laplacian(2, h), BC: bc, Tol: 1e-8, MaxIter: 10000}
+	return &Poisson{Op: stencil.Laplacian(2, h), BC: bc, Tol: 1e-8, MaxIter: 10000, Pool: stencil.Shared()}
 }
 
-// residual computes r = rhs - ∇²phi and returns its norm.
+// residual computes r = rhs - ∇²phi in one fused sweep and returns its
+// norm.
 func (ps *Poisson) residual(r, phi, rhs *grid.Grid) float64 {
 	fillHalos(phi, ps.BC)
-	ps.Op.Apply(r, phi)
-	r.Scale(-1)
-	r.Axpy(1, rhs)
-	return r.Norm2()
+	return math.Sqrt(ps.Op.ApplyResidual(ps.Pool, r, rhs, phi))
 }
 
 // SolveJacobi runs damped Jacobi relaxation, returning the iteration
 // count and final relative residual. phi is the initial guess and result.
+// Each iteration is two fused sweeps (residual-with-norm, correction
+// axpy) instead of the five passes of the unfused formulation.
 func (ps *Poisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 	omega := 0.7
 	diag := ps.Op.Center
@@ -80,7 +87,7 @@ func (ps *Poisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 	}
 	b := rhs.Clone()
 	if ps.BC == Periodic {
-		removeMean(b)
+		removeMean(ps.Pool, b)
 	}
 	r := grid.NewDims(phi.Dims(), phi.H)
 	norm0 := b.Norm2()
@@ -91,25 +98,76 @@ func (ps *Poisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 	for it := 1; it <= ps.MaxIter; it++ {
 		res := ps.residual(r, phi, b)
 		if ps.BC == Periodic {
-			removeMean(phi)
+			removeMean(ps.Pool, phi)
 		}
 		if res/norm0 < ps.Tol {
 			return it, res / norm0, nil
 		}
-		phi.Axpy(omega/diag, r)
+		ps.Pool.Axpy(phi, omega/diag, r)
 	}
 	res := ps.residual(r, phi, b)
 	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: Jacobi did not converge (residual %g)", res/norm0)
 }
 
 // SolveCG runs conjugate gradients on the negated (positive-definite)
-// Laplacian. Much faster than Jacobi for the same tolerance.
+// Laplacian. Much faster than Jacobi for the same tolerance. The sign
+// is folded into the operator coefficients and every iteration is four
+// fused sweeps — apply-with-dot, axpy, axpy-with-norm, axpy-with-scale —
+// about half the memory passes of SolveCGReference.
 func (ps *Poisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 	// Solve (-∇²) phi = -rhs, which is symmetric positive (semi-)definite.
+	neg := ps.Op.Scaled(-1)
+	b := rhs.Clone()
+	ps.Pool.Scale(b, -1)
+	if ps.BC == Periodic {
+		removeMean(ps.Pool, b)
+	}
+	norm0 := b.Norm2()
+	if norm0 == 0 {
+		phi.Fill(0)
+		return 0, 0, nil
+	}
+	r := grid.NewDims(phi.Dims(), phi.H)
+	ap := grid.NewDims(phi.Dims(), phi.H)
+	// r = b - A phi, fused with the halo fill preceding it.
+	fillHalos(phi, ps.BC)
+	neg.ApplyResidual(ps.Pool, r, b, phi)
+	if ps.BC == Periodic {
+		removeMean(ps.Pool, r)
+	}
+	p := r.Clone()
+	rsold := ps.Pool.Dot(r, r)
+	for it := 1; it <= ps.MaxIter; it++ {
+		fillHalos(p, ps.BC)
+		pap := neg.ApplyDot(ps.Pool, ap, p) // ap = A p and <p, Ap> in one sweep
+		alpha := rsold / pap
+		ps.Pool.Axpy(phi, alpha, p)
+		rs := ps.Pool.AxpyDot(r, -alpha, ap) // r -= alpha*Ap and <r, r> in one sweep
+		if ps.BC == Periodic {
+			removeMean(ps.Pool, r)
+			rs = ps.Pool.Dot(r, r)
+		}
+		if math.Sqrt(rs)/norm0 < ps.Tol {
+			if ps.BC == Periodic {
+				removeMean(ps.Pool, phi)
+			}
+			return it, math.Sqrt(rs) / norm0, nil
+		}
+		ps.Pool.AxpyScale(p, 1, r, rs/rsold) // p = r + beta*p in one sweep
+		rsold = rs
+	}
+	return ps.MaxIter, math.Sqrt(rsold) / norm0, fmt.Errorf("gpaw: CG did not converge")
+}
+
+// SolveCGReference is the unfused conjugate-gradient formulation the
+// fused SolveCG replaces: separate Apply, Scale, Axpy and Dot passes
+// per iteration. It is kept as the numerical reference for equivalence
+// tests and as the baseline for the memory-traffic benchmarks.
+func (ps *Poisson) SolveCGReference(phi, rhs *grid.Grid) (int, float64, error) {
 	b := rhs.Clone()
 	b.Scale(-1)
 	if ps.BC == Periodic {
-		removeMean(b)
+		removeMeanSerial(b)
 	}
 	norm0 := b.Norm2()
 	if norm0 == 0 {
@@ -128,7 +186,7 @@ func (ps *Poisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 	r.Scale(-1)
 	r.Axpy(1, b)
 	if ps.BC == Periodic {
-		removeMean(r)
+		removeMeanSerial(r)
 	}
 	p := r.Clone()
 	rsold := r.Dot(r)
@@ -138,12 +196,12 @@ func (ps *Poisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 		phi.Axpy(alpha, p)
 		r.Axpy(-alpha, ap)
 		if ps.BC == Periodic {
-			removeMean(r)
+			removeMeanSerial(r)
 		}
 		rs := r.Dot(r)
 		if math.Sqrt(rs)/norm0 < ps.Tol {
 			if ps.BC == Periodic {
-				removeMean(phi)
+				removeMeanSerial(phi)
 			}
 			return it, math.Sqrt(rs) / norm0, nil
 		}
@@ -162,13 +220,12 @@ func (ps *Poisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, e
 	if omega <= 0 || omega >= 2 {
 		return 0, 0, fmt.Errorf("gpaw: SOR omega %g outside (0, 2)", omega)
 	}
-	diag := ps.Op.Center
-	if diag == 0 {
+	if ps.Op.Center == 0 {
 		return 0, 0, fmt.Errorf("gpaw: singular stencil diagonal")
 	}
 	b := rhs.Clone()
 	if ps.BC == Periodic {
-		removeMean(b)
+		removeMean(ps.Pool, b)
 	}
 	norm0 := b.Norm2()
 	if norm0 == 0 {
@@ -176,21 +233,13 @@ func (ps *Poisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, e
 		return 0, 0, nil
 	}
 	r := grid.NewDims(phi.Dims(), phi.H)
-	d := phi.Dims()
 	for it := 1; it <= ps.MaxIter; it++ {
 		// One lexicographic Gauss-Seidel sweep with halo refresh first;
 		// in-place updates use the freshest interior values available.
 		fillHalos(phi, ps.BC)
-		for i := 0; i < d[0]; i++ {
-			for j := 0; j < d[1]; j++ {
-				for k := 0; k < d[2]; k++ {
-					res := b.At(i, j, k) - ps.applyAt(phi, i, j, k)
-					phi.Set(i, j, k, phi.At(i, j, k)+omega*res/diag)
-				}
-			}
-		}
+		ps.Op.SORSweep(phi, b, omega)
 		if ps.BC == Periodic {
-			removeMean(phi)
+			removeMean(ps.Pool, phi)
 		}
 		res := ps.residual(r, phi, b)
 		if res/norm0 < ps.Tol {
@@ -201,34 +250,24 @@ func (ps *Poisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, e
 	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: SOR did not converge (residual %g)", res/norm0)
 }
 
-// applyAt evaluates the operator at a single interior point from the
-// grid's current contents (halos must be valid).
-func (ps *Poisson) applyAt(g *grid.Grid, i, j, k int) float64 {
-	op := ps.Op
-	v := op.Center * g.At(i, j, k)
-	for o := -op.R; o <= op.R; o++ {
-		if o == 0 {
-			continue
-		}
-		v += op.X[o+op.R] * g.At(i+o, j, k)
-		v += op.Y[o+op.R] * g.At(i, j+o, k)
-		v += op.Z[o+op.R] * g.At(i, j, k+o)
-	}
-	return v
+// removeMean subtracts the interior mean (projects out the constant
+// nullspace of the periodic Laplacian) with two pooled sweeps.
+func removeMean(p *stencil.Pool, g *grid.Grid) {
+	mean := p.Sum(g) / float64(g.Points())
+	p.AddScalar(g, -mean)
 }
 
-// removeMean subtracts the interior mean (projects out the constant
-// nullspace of the periodic Laplacian).
-func removeMean(g *grid.Grid) {
-	mean := g.Sum() / float64(g.Points())
-	g.FillFunc(func(i, j, k int) float64 { return g.At(i, j, k) - mean })
+// removeMeanSerial is removeMean on the calling goroutine with a single
+// straight-line accumulator, used by the unfused reference solver.
+func removeMeanSerial(g *grid.Grid) {
+	g.AddScalar(-g.Sum() / float64(g.Points()))
 }
 
 // HartreePotential solves ∇²v = -4πn for the given density and returns
 // v (zero-mean for periodic boundaries).
 func (ps *Poisson) HartreePotential(n *grid.Grid) (*grid.Grid, error) {
 	rhs := n.Clone()
-	rhs.Scale(-4 * math.Pi)
+	ps.Pool.Scale(rhs, -4*math.Pi)
 	v := grid.NewDims(n.Dims(), n.H)
 	if _, _, err := ps.SolveCG(v, rhs); err != nil {
 		return nil, err

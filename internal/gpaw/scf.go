@@ -48,7 +48,8 @@ func NewSCF(sys System) *SCF {
 func (s *SCF) states() int { return (s.Sys.Electrons + 1) / 2 }
 
 // buildDensity assembles n(r) = Σ_i f_i |ψ_i|² normalized to the
-// electron count.
+// electron count. Each state contributes one fused
+// accumulate-the-square sweep.
 func (s *SCF) buildDensity(psis []*grid.Grid) *grid.Grid {
 	n := grid.NewDims(s.Sys.Dims, psis[0].H)
 	dV := s.Sys.Spacing * s.Sys.Spacing * s.Sys.Spacing
@@ -56,15 +57,7 @@ func (s *SCF) buildDensity(psis []*grid.Grid) *grid.Grid {
 	for _, psi := range psis {
 		occ := math.Min(2, remaining)
 		remaining -= occ
-		d := n.Dims()
-		for i := 0; i < d[0]; i++ {
-			for j := 0; j < d[1]; j++ {
-				for k := 0; k < d[2]; k++ {
-					v := psi.At(i, j, k)
-					n.Set(i, j, k, n.At(i, j, k)+occ*v*v)
-				}
-			}
-		}
+		n.AccumSquared(occ, psi)
 	}
 	// Wave-functions are dot-product normalized; scale so that
 	// ∫n dV = electrons.
@@ -116,31 +109,13 @@ func (s *SCF) Run() (*SCFResult, error) {
 			n = newN
 			residual = math.Inf(1)
 		} else {
-			diffNorm := 0.0
-			d := n.Dims()
-			for i := 0; i < d[0]; i++ {
-				for j := 0; j < d[1]; j++ {
-					for k := 0; k < d[2]; k++ {
-						diff := newN.At(i, j, k) - n.At(i, j, k)
-						diffNorm += diff * diff
-						n.Set(i, j, k, n.At(i, j, k)+s.Mix*diff)
-					}
-				}
-			}
-			residual = math.Sqrt(diffNorm)
+			residual = math.Sqrt(mixDensity(n, newN, s.Mix))
 		}
 		vh, err := poisson.HartreePotential(n)
 		if err != nil {
 			return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
 		}
-		d := veff.Dims()
-		for i := 0; i < d[0]; i++ {
-			for j := 0; j < d[1]; j++ {
-				for k := 0; k < d[2]; k++ {
-					veff.Set(i, j, k, s.Sys.Vext.At(i, j, k)+vh.At(i, j, k)+xAlpha(n.At(i, j, k)))
-				}
-			}
-		}
+		updateVeff(veff, s.Sys.Vext, vh, n)
 		if residual < s.Tol {
 			return &SCFResult{Eigenvalues: eig, Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
 		}
@@ -150,6 +125,46 @@ func (s *SCF) Run() (*SCFResult, error) {
 		}
 	}
 	return nil, fmt.Errorf("gpaw: unreachable")
+}
+
+// mixDensity linearly mixes newN into n (n += mix*(newN - n)) and
+// returns the squared L2 norm of the density change, in one sweep over
+// flat rows instead of a per-point accessor loop with a separate norm
+// pass.
+func mixDensity(n, newN *grid.Grid, mix float64) float64 {
+	diffNorm := 0.0
+	nd, md := n.Data(), newN.Data()
+	for i := 0; i < n.Nx; i++ {
+		for j := 0; j < n.Ny; j++ {
+			a := n.Index(i, j, 0)
+			b := newN.Index(i, j, 0)
+			for k := 0; k < n.Nz; k++ {
+				diff := md[b+k] - nd[a+k]
+				diffNorm += diff * diff
+				nd[a+k] += mix * diff
+			}
+		}
+	}
+	grid.NoteTraffic(n.Points(), 3)
+	return diffNorm
+}
+
+// updateVeff rebuilds the effective potential veff = vext + vh +
+// v_x(n) in one sweep over flat rows.
+func updateVeff(veff, vext, vh, n *grid.Grid) {
+	od, ed, hd, nd := veff.Data(), vext.Data(), vh.Data(), n.Data()
+	for i := 0; i < veff.Nx; i++ {
+		for j := 0; j < veff.Ny; j++ {
+			o := veff.Index(i, j, 0)
+			e := vext.Index(i, j, 0)
+			h := vh.Index(i, j, 0)
+			m := n.Index(i, j, 0)
+			for k := 0; k < veff.Nz; k++ {
+				od[o+k] = ed[e+k] + hd[h+k] + xAlpha(nd[m+k])
+			}
+		}
+	}
+	grid.NoteTraffic(veff.Points(), 4)
 }
 
 // Spacing returns the grid spacing.

@@ -1,0 +1,214 @@
+package grid
+
+import "fmt"
+
+// Fused and range-based BLAS-1 primitives. The solvers in internal/gpaw
+// are memory-bandwidth-bound: chains like r.Scale(-1); r.Axpy(1, b);
+// r.Norm2() stream the same array from DRAM three times. The fused
+// variants here perform such chains in a single sweep, and every
+// primitive has a plane-range form ([i0, i1) over the x dimension) so
+// the worker pool in internal/stencil can split one grid's sweep across
+// threads with deterministic, disjoint writes.
+
+// checkSame panics unless o has g's interior extents.
+func (g *Grid) checkSame(op string, o *Grid) {
+	if g.Nx != o.Nx || g.Ny != o.Ny || g.Nz != o.Nz {
+		panic(fmt.Sprintf("grid: %s extent mismatch", op))
+	}
+}
+
+// ScaleRange multiplies interior planes [i0, i1) by a.
+func (g *Grid) ScaleRange(a float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			row := g.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				g.data[row+k] *= a
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 2)
+}
+
+// AxpyRange adds a*x to interior planes [i0, i1) of g.
+func (g *Grid) AxpyRange(a float64, x *Grid, i0, i1 int) {
+	g.checkSame("Axpy", x)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			dst := g.index(i, j, 0)
+			src := x.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				g.data[dst+k] += a * x.data[src+k]
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 3)
+}
+
+// AxpyScale sets g = s*g + a*x in one sweep, fusing the Scale+Axpy
+// chains of the iterative solvers (e.g. CG's search-direction update
+// p = r + beta*p is p.AxpyScale(1, r, beta)).
+func (g *Grid) AxpyScale(a float64, x *Grid, s float64) {
+	g.AxpyScaleRange(a, x, s, 0, g.Nx)
+}
+
+// AxpyScaleRange is AxpyScale over interior planes [i0, i1).
+func (g *Grid) AxpyScaleRange(a float64, x *Grid, s float64, i0, i1 int) {
+	g.checkSame("AxpyScale", x)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			dst := g.index(i, j, 0)
+			src := x.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				g.data[dst+k] = s*g.data[dst+k] + a*x.data[src+k]
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 3)
+}
+
+// DotRange returns the inner product <g, o> over interior planes
+// [i0, i1). A self-dot (o == g) streams only one array.
+func (g *Grid) DotRange(o *Grid, i0, i1 int) float64 {
+	g.checkSame("Dot", o)
+	sum := 0.0
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			a := g.index(i, j, 0)
+			b := o.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				sum += g.data[a+k] * o.data[b+k]
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, dotStreams(g, o))
+	return sum
+}
+
+// dotStreams counts the DRAM streams of a dot product: one when the
+// operands alias, two otherwise.
+func dotStreams(g, o *Grid) int {
+	if g == o {
+		return 1
+	}
+	return 2
+}
+
+// DotNorm returns <g, o> and <g, g> in a single sweep, fusing the
+// Dot+Norm2 pairs solvers use for convergence checks.
+func (g *Grid) DotNorm(o *Grid) (dot, sumsq float64) {
+	return g.DotNormRange(o, 0, g.Nx)
+}
+
+// DotNormRange is DotNorm over interior planes [i0, i1).
+func (g *Grid) DotNormRange(o *Grid, i0, i1 int) (dot, sumsq float64) {
+	g.checkSame("DotNorm", o)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			a := g.index(i, j, 0)
+			b := o.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				gv := g.data[a+k]
+				dot += gv * o.data[b+k]
+				sumsq += gv * gv
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, dotStreams(g, o))
+	return dot, sumsq
+}
+
+// AxpyDot performs g += a*x and returns the updated <g, g> in the same
+// sweep — CG's residual update and convergence check fused into one
+// pass.
+func (g *Grid) AxpyDot(a float64, x *Grid) float64 {
+	return g.AxpyDotRange(a, x, 0, g.Nx)
+}
+
+// AxpyDotRange is AxpyDot over interior planes [i0, i1), returning the
+// partial sum of squares.
+func (g *Grid) AxpyDotRange(a float64, x *Grid, i0, i1 int) float64 {
+	g.checkSame("AxpyDot", x)
+	sumsq := 0.0
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			dst := g.index(i, j, 0)
+			src := x.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				v := g.data[dst+k] + a*x.data[src+k]
+				g.data[dst+k] = v
+				sumsq += v * v
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 3)
+	return sumsq
+}
+
+// SumRange returns the sum over interior planes [i0, i1).
+func (g *Grid) SumRange(i0, i1 int) float64 {
+	sum := 0.0
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			row := g.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				sum += g.data[row+k]
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 1)
+	return sum
+}
+
+// AddScalar adds v to every interior point (one read-modify-write
+// sweep; with Sum it replaces the FillFunc-based mean removal of the
+// periodic Poisson solvers).
+func (g *Grid) AddScalar(v float64) { g.AddScalarRange(v, 0, g.Nx) }
+
+// AddScalarRange is AddScalar over interior planes [i0, i1).
+func (g *Grid) AddScalarRange(v float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			row := g.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				g.data[row+k] += v
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 2)
+}
+
+// AccumSquared adds a*x*x pointwise to g — the density accumulation
+// n += occ*|psi|^2 of the SCF loop in one sweep.
+func (g *Grid) AccumSquared(a float64, x *Grid) {
+	g.AccumSquaredRange(a, x, 0, g.Nx)
+}
+
+// AccumSquaredRange is AccumSquared over interior planes [i0, i1).
+func (g *Grid) AccumSquaredRange(a float64, x *Grid, i0, i1 int) {
+	g.checkSame("AccumSquared", x)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			dst := g.index(i, j, 0)
+			src := x.index(i, j, 0)
+			for k := 0; k < g.Nz; k++ {
+				v := x.data[src+k]
+				g.data[dst+k] += a * v * v
+			}
+		}
+	}
+	g.noteTraffic(i1-i0, 3)
+}
+
+// CopyInteriorRange copies interior planes [i0, i1) of src into g.
+func (g *Grid) CopyInteriorRange(src *Grid, i0, i1 int) {
+	g.checkSame("CopyInteriorFrom", src)
+	for i := i0; i < i1; i++ {
+		for j := 0; j < g.Ny; j++ {
+			dst := g.index(i, j, 0)
+			s := src.index(i, j, 0)
+			copy(g.data[dst:dst+g.Nz], src.data[s:s+g.Nz])
+		}
+	}
+	g.noteTraffic(i1-i0, 2)
+}

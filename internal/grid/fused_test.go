@@ -1,0 +1,219 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func filledGrid(nx, ny, nz, halo int) *Grid {
+	g := New(nx, ny, nz, halo)
+	g.FillFunc(func(i, j, k int) float64 {
+		return math.Sin(0.3*float64(i)) + 0.5*math.Cos(0.7*float64(j)-0.2*float64(k)) + float64((i+j+k)%5)
+	})
+	return g
+}
+
+// TestPackFaceUnpackHaloRoundTrip verifies the transport identity the
+// distributed halo exchange relies on: packing a face slab of one grid
+// and unpacking it into the opposite halo of a neighbouring grid must
+// install exactly the packed surface values, for every dimension, side
+// and thickness.
+func TestPackFaceUnpackHaloRoundTrip(t *testing.T) {
+	src := filledGrid(6, 5, 7, 2)
+	for dim := 0; dim < 3; dim++ {
+		for _, side := range []Side{Low, High} {
+			for thick := 1; thick <= 2; thick++ {
+				buf := make([]float64, src.FaceLen(dim, thick))
+				n := src.PackFace(dim, side, thick, buf)
+				if n != len(buf) {
+					t.Fatalf("dim %d side %v t %d: packed %d, want %d", dim, side, thick, n, len(buf))
+				}
+				dst := filledGrid(6, 5, 7, 2)
+				// The neighbour receives my `side` face into its
+				// opposite halo.
+				m := dst.UnpackHalo(dim, side.Opposite(), thick, buf)
+				if m != n {
+					t.Fatalf("dim %d side %v t %d: unpacked %d, want %d", dim, side, thick, m, n)
+				}
+				// Every halo cell must equal the matching interior
+				// surface cell of the sender under a periodic shift.
+				ext := []int{src.Nx, src.Ny, src.Nz}[dim]
+				for a := 0; a < thick; a++ {
+					srcIdx, dstIdx := a, ext+a // Low face -> High halo
+					if side == High {
+						srcIdx, dstIdx = ext-thick+a, -thick+a
+					}
+					checkSlabEqual(t, src, dst, dim, srcIdx, dstIdx)
+				}
+			}
+		}
+	}
+}
+
+// checkSlabEqual compares src's interior plane srcIdx of dimension dim
+// with dst's (halo) plane dstIdx over the full extent of the other two
+// dimensions.
+func checkSlabEqual(t *testing.T, src, dst *Grid, dim, srcIdx, dstIdx int) {
+	t.Helper()
+	idx := func(g *Grid, a, b, c int) float64 {
+		switch dim {
+		case 0:
+			return g.At(a, b, c)
+		case 1:
+			return g.At(b, a, c)
+		default:
+			return g.At(b, c, a)
+		}
+	}
+	var e1, e2 int
+	switch dim {
+	case 0:
+		e1, e2 = src.Ny, src.Nz
+	case 1:
+		e1, e2 = src.Nx, src.Nz
+	default:
+		e1, e2 = src.Nx, src.Ny
+	}
+	for b := 0; b < e1; b++ {
+		for c := 0; c < e2; c++ {
+			want := idx(src, srcIdx, b, c)
+			got := idx(dst, dstIdx, b, c)
+			if want != got {
+				t.Fatalf("dim %d: halo plane %d (%d,%d) = %g, want %g", dim, dstIdx, b, c, got, want)
+			}
+		}
+	}
+}
+
+// TestPackUnpackSelfIdentity: packing a face and unpacking it into the
+// same grid's opposite halo is exactly the single-process periodic wrap
+// for that face (corners aside).
+func TestPackUnpackSelfIdentity(t *testing.T) {
+	g := filledGrid(6, 6, 6, 2)
+	ref := g.Clone()
+	ref.FillHalosPeriodic()
+	buf := make([]float64, g.FaceLen(0, 2))
+	g.PackFace(0, Low, 2, buf)
+	g.UnpackHalo(0, High, 2, buf)
+	for a := 0; a < 2; a++ {
+		for j := 0; j < g.Ny; j++ {
+			for k := 0; k < g.Nz; k++ {
+				if got, want := g.At(g.Nx+a, j, k), ref.At(g.Nx+a, j, k); got != want {
+					t.Fatalf("halo (%d,%d,%d) = %g, want %g", g.Nx+a, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAxpyScaleMatchesChain(t *testing.T) {
+	g := filledGrid(7, 6, 5, 1)
+	x := filledGrid(7, 6, 5, 2)
+	x.Scale(0.5)
+	want := g.Clone()
+	want.Scale(-0.3)
+	want.Axpy(1.7, x)
+	got := g.Clone()
+	got.AxpyScale(1.7, x, -0.3)
+	if d := want.MaxAbsDiff(got); d > 1e-15 {
+		t.Fatalf("AxpyScale deviates from Scale+Axpy by %g", d)
+	}
+}
+
+func TestDotNormMatchesSeparate(t *testing.T) {
+	g := filledGrid(7, 6, 5, 1)
+	o := filledGrid(7, 6, 5, 1)
+	o.Scale(-0.8)
+	dot, sumsq := g.DotNorm(o)
+	if dot != g.Dot(o) {
+		t.Fatalf("DotNorm dot %g != Dot %g", dot, g.Dot(o))
+	}
+	if sumsq != g.Dot(g) {
+		t.Fatalf("DotNorm sumsq %g != <g,g> %g", sumsq, g.Dot(g))
+	}
+}
+
+func TestAxpyDotMatchesChain(t *testing.T) {
+	g := filledGrid(7, 6, 5, 1)
+	x := filledGrid(7, 6, 5, 1)
+	x.Scale(0.25)
+	want := g.Clone()
+	want.Axpy(-0.6, x)
+	wantSq := want.Dot(want)
+	got := g.Clone()
+	sq := got.AxpyDot(-0.6, x)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatalf("AxpyDot grid deviates by %g", d)
+	}
+	if math.Abs(sq-wantSq) > 1e-12*math.Abs(wantSq) {
+		t.Fatalf("AxpyDot sumsq %g, want %g", sq, wantSq)
+	}
+}
+
+func TestAddScalarAndAccumSquared(t *testing.T) {
+	g := filledGrid(6, 5, 4, 1)
+	want := g.Clone()
+	want.FillFunc(func(i, j, k int) float64 { return g.At(i, j, k) + 2.5 })
+	got := g.Clone()
+	got.AddScalar(2.5)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("AddScalar deviates from FillFunc chain")
+	}
+
+	psi := filledGrid(6, 5, 4, 1)
+	want = g.Clone()
+	want.FillFunc(func(i, j, k int) float64 {
+		v := psi.At(i, j, k)
+		return g.At(i, j, k) + 1.5*v*v
+	})
+	got = g.Clone()
+	got.AccumSquared(1.5, psi)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("AccumSquared deviates from FillFunc chain")
+	}
+}
+
+func TestRangePrimitivesCompose(t *testing.T) {
+	g := filledGrid(9, 4, 5, 1)
+	x := filledGrid(9, 4, 5, 1)
+	x.Scale(2)
+	want := g.Clone()
+	want.Axpy(0.4, x)
+	got := g.Clone()
+	got.AxpyRange(0.4, x, 0, 3)
+	got.AxpyRange(0.4, x, 3, 7)
+	got.AxpyRange(0.4, x, 7, 9)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("AxpyRange pieces disagree with whole Axpy")
+	}
+	if s := g.SumRange(0, 4) + g.SumRange(4, 9); math.Abs(s-g.Sum()) > 1e-12*math.Abs(g.Sum()) {
+		t.Fatalf("SumRange pieces %g far from Sum %g", s, g.Sum())
+	}
+}
+
+func TestTrafficCounter(t *testing.T) {
+	g := New(4, 4, 4, 1)
+	x := New(4, 4, 4, 1)
+	pts := int64(g.Points())
+	ResetTraffic()
+	g.Fill(1)
+	if got := TrafficPoints(); got != pts {
+		t.Fatalf("Fill traffic = %d, want %d", got, pts)
+	}
+	ResetTraffic()
+	g.Axpy(2, x)
+	if got := TrafficPoints(); got != 3*pts {
+		t.Fatalf("Axpy traffic = %d, want %d", got, 3*pts)
+	}
+	ResetTraffic()
+	g.AxpyScale(1, x, 2)
+	if got := TrafficPoints(); got != 3*pts {
+		t.Fatalf("AxpyScale traffic = %d, want %d", got, 3*pts)
+	}
+	ResetTraffic()
+	_ = g.Dot(x)
+	if got := TrafficPoints(); got != 2*pts {
+		t.Fatalf("Dot traffic = %d, want %d", got, 2*pts)
+	}
+	ResetTraffic()
+}

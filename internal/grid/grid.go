@@ -87,6 +87,7 @@ func (g *Grid) Fill(v float64) {
 			}
 		}
 	}
+	g.noteTraffic(g.Nx, 1)
 }
 
 // FillFunc sets every interior point to f(i, j, k).
@@ -99,35 +100,27 @@ func (g *Grid) FillFunc(f func(i, j, k int) float64) {
 			}
 		}
 	}
+	g.noteTraffic(g.Nx, 1)
 }
 
 // Zero clears the whole allocation, halos included.
 func (g *Grid) Zero() {
-	for i := range g.data {
-		g.data[i] = 0
-	}
+	clear(g.data)
+	g.noteTraffic(g.Nx, 1)
 }
 
 // Clone returns a deep copy of the grid, halos included.
 func (g *Grid) Clone() *Grid {
 	out := New(g.Nx, g.Ny, g.Nz, g.H)
 	copy(out.data, g.data)
+	g.noteTraffic(g.Nx, 2)
 	return out
 }
 
 // CopyInteriorFrom copies src's interior into g's interior. The interiors
 // must have identical extents; halos may differ.
 func (g *Grid) CopyInteriorFrom(src *Grid) {
-	if g.Nx != src.Nx || g.Ny != src.Ny || g.Nz != src.Nz {
-		panic("grid: CopyInteriorFrom extent mismatch")
-	}
-	for i := 0; i < g.Nx; i++ {
-		for j := 0; j < g.Ny; j++ {
-			dst := g.index(i, j, 0)
-			s := src.index(i, j, 0)
-			copy(g.data[dst:dst+g.Nz], src.data[s:s+g.Nz])
-		}
-	}
+	g.CopyInteriorRange(src, 0, g.Nx)
 }
 
 // MaxAbsDiff returns the largest absolute interior difference between two
@@ -153,53 +146,16 @@ func (g *Grid) MaxAbsDiff(o *Grid) float64 {
 }
 
 // Dot returns the interior inner product <g, o>.
-func (g *Grid) Dot(o *Grid) float64 {
-	if g.Nx != o.Nx || g.Ny != o.Ny || g.Nz != o.Nz {
-		panic("grid: Dot extent mismatch")
-	}
-	sum := 0.0
-	for i := 0; i < g.Nx; i++ {
-		for j := 0; j < g.Ny; j++ {
-			a := g.index(i, j, 0)
-			b := o.index(i, j, 0)
-			for k := 0; k < g.Nz; k++ {
-				sum += g.data[a+k] * o.data[b+k]
-			}
-		}
-	}
-	return sum
-}
+func (g *Grid) Dot(o *Grid) float64 { return g.DotRange(o, 0, g.Nx) }
 
 // Norm2 returns the interior L2 norm.
 func (g *Grid) Norm2() float64 { return math.Sqrt(g.Dot(g)) }
 
 // Scale multiplies every interior point by a.
-func (g *Grid) Scale(a float64) {
-	for i := 0; i < g.Nx; i++ {
-		for j := 0; j < g.Ny; j++ {
-			row := g.index(i, j, 0)
-			for k := 0; k < g.Nz; k++ {
-				g.data[row+k] *= a
-			}
-		}
-	}
-}
+func (g *Grid) Scale(a float64) { g.ScaleRange(a, 0, g.Nx) }
 
 // Axpy adds a*x to g's interior: g += a*x.
-func (g *Grid) Axpy(a float64, x *Grid) {
-	if g.Nx != x.Nx || g.Ny != x.Ny || g.Nz != x.Nz {
-		panic("grid: Axpy extent mismatch")
-	}
-	for i := 0; i < g.Nx; i++ {
-		for j := 0; j < g.Ny; j++ {
-			dst := g.index(i, j, 0)
-			src := x.index(i, j, 0)
-			for k := 0; k < g.Nz; k++ {
-				g.data[dst+k] += a * x.data[src+k]
-			}
-		}
-	}
-}
+func (g *Grid) Axpy(a float64, x *Grid) { g.AxpyRange(a, x, 0, g.Nx) }
 
 // InteriorSlice copies the interior into a new flat slice in x-major
 // order, for transport between ranks.
@@ -233,15 +189,4 @@ func (g *Grid) SetInterior(src []float64) {
 }
 
 // Sum returns the sum over interior points.
-func (g *Grid) Sum() float64 {
-	sum := 0.0
-	for i := 0; i < g.Nx; i++ {
-		for j := 0; j < g.Ny; j++ {
-			row := g.index(i, j, 0)
-			for k := 0; k < g.Nz; k++ {
-				sum += g.data[row+k]
-			}
-		}
-	}
-	return sum
-}
+func (g *Grid) Sum() float64 { return g.SumRange(0, g.Nx) }

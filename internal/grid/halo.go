@@ -195,7 +195,8 @@ func (g *Grid) FillHalosZero() {
 }
 
 // zeroSlab clears the slab [slabLo, slabLo+H) of dimension dim, other
-// dimensions spanning [lo, hi).
+// dimensions spanning [lo, hi). Rows are contiguous in z, so each clear
+// compiles to a memclr instead of a scalar store loop.
 func (g *Grid) zeroSlab(dim int, lo, hi [3]int, slabLo int) {
 	t := g.H
 	switch dim {
@@ -203,27 +204,21 @@ func (g *Grid) zeroSlab(dim int, lo, hi [3]int, slabLo int) {
 		for s := 0; s < t; s++ {
 			for j := lo[1]; j < hi[1]; j++ {
 				row := g.index(slabLo+s, j, lo[2])
-				for k := 0; k < hi[2]-lo[2]; k++ {
-					g.data[row+k] = 0
-				}
+				clear(g.data[row : row+hi[2]-lo[2]])
 			}
 		}
 	case 1:
 		for i := lo[0]; i < hi[0]; i++ {
 			for s := 0; s < t; s++ {
 				row := g.index(i, slabLo+s, lo[2])
-				for k := 0; k < hi[2]-lo[2]; k++ {
-					g.data[row+k] = 0
-				}
+				clear(g.data[row : row+hi[2]-lo[2]])
 			}
 		}
 	case 2:
 		for i := lo[0]; i < hi[0]; i++ {
 			for j := lo[1]; j < hi[1]; j++ {
 				row := g.index(i, j, slabLo)
-				for k := 0; k < t; k++ {
-					g.data[row+k] = 0
-				}
+				clear(g.data[row : row+t])
 			}
 		}
 	}

@@ -1,0 +1,249 @@
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Fused kernels: one stencil sweep combined with the BLAS-1 work a
+// solver performs right after it. Each kernel reads and writes every
+// grid exactly once, cutting the memory passes of a solver iteration
+// roughly in half versus chains of Apply/Scale/Axpy/Dot (see the
+// package comment for the stream model). All kernels evaluate the
+// stencil through stencilRow into a cache-resident row buffer, so their
+// stencil values are bit-identical to Apply's.
+//
+// Reductions return per-plane partial sums folded in plane order, so
+// every result is independent of the pool's worker count.
+//
+// Aliasing: the grid the stencil reads (src/phi) must not alias any
+// output grid — the stencil reads neighbouring planes that a fused
+// in-place write would corrupt. Pure elementwise operands (b, rhs, v, y)
+// may alias the output only where noted.
+
+// checkFused panics unless every grid matches the stencil source's
+// extents and the source halo covers the radius.
+func (op *Operator) checkFused(kernel string, src *grid.Grid, others ...*grid.Grid) {
+	for _, g := range others {
+		if g.Nx != src.Nx || g.Ny != src.Ny || g.Nz != src.Nz {
+			panic(fmt.Sprintf("stencil: %s extent mismatch", kernel))
+		}
+	}
+	if src.H < op.R {
+		panic(fmt.Sprintf("stencil: %s source halo %d < stencil radius %d", kernel, src.H, op.R))
+	}
+}
+
+// Scaled returns the operator with every coefficient multiplied by s.
+// Applying Scaled(-1) is bitwise equal to applying op and negating the
+// result (IEEE rounding is sign-symmetric), so solvers that need -op —
+// CG's positive-definite -∇² — fold the sign into the operator instead
+// of spending a full Scale pass per iteration.
+func (op *Operator) Scaled(s float64) *Operator {
+	scale := func(w []float64) []float64 {
+		out := make([]float64, len(w))
+		for i, v := range w {
+			out[i] = s * v
+		}
+		return out
+	}
+	return &Operator{
+		R:      op.R,
+		Center: s * op.Center,
+		X:      scale(op.X),
+		Y:      scale(op.Y),
+		Z:      scale(op.Z),
+	}
+}
+
+// ApplyAxpy computes dst = op(src) and y += alpha*dst in one sweep
+// (4 streams). y must not alias src or dst.
+func (op *Operator) ApplyAxpy(p *Pool, dst, y *grid.Grid, alpha float64, src *grid.Grid) {
+	op.checkFused("ApplyAxpy", src, dst, y)
+	taps := op.gridTaps(src)
+	in := src.Data()
+	out := dst.Data()
+	yd := y.Data()
+	p.Exec(src.Nx, func(_, x0, x1 int) {
+		for i := x0; i < x1; i++ {
+			for j := 0; j < src.Ny; j++ {
+				srow := src.Index(i, j, 0)
+				drow := dst.Index(i, j, 0)
+				yrow := y.Index(i, j, 0)
+				stencilRow(out[drow:drow+src.Nz], in, srow, src.Nz, op.Center, taps)
+				for k := 0; k < src.Nz; k++ {
+					yd[yrow+k] += alpha * out[drow+k]
+				}
+			}
+		}
+	})
+	grid.NoteTraffic(src.Points(), 4)
+}
+
+// ApplyDot computes dst = op(src) and returns <src, dst> in the same
+// sweep. The reduction reuses cache-hot values, so the kernel stays at
+// the plain operator's 2 streams — CG's p·Ap comes for free.
+func (op *Operator) ApplyDot(p *Pool, dst, src *grid.Grid) float64 {
+	op.checkFused("ApplyDot", src, dst)
+	taps := op.gridTaps(src)
+	in := src.Data()
+	out := dst.Data()
+	part := make([]float64, src.Nx)
+	p.Exec(src.Nx, func(_, x0, x1 int) {
+		for i := x0; i < x1; i++ {
+			sum := 0.0
+			for j := 0; j < src.Ny; j++ {
+				srow := src.Index(i, j, 0)
+				drow := dst.Index(i, j, 0)
+				stencilRow(out[drow:drow+src.Nz], in, srow, src.Nz, op.Center, taps)
+				for k := 0; k < src.Nz; k++ {
+					sum += in[srow+k] * out[drow+k]
+				}
+			}
+			part[i] = sum
+		}
+	})
+	grid.NoteTraffic(src.Points(), 2)
+	return planeSum(part)
+}
+
+// ApplyResidual computes r = b - op(phi) and returns |r|^2 in one sweep
+// (3 streams, versus 9 for Apply+Scale+Axpy+Dot). r may alias b; it
+// must not alias phi.
+func (op *Operator) ApplyResidual(p *Pool, r, b, phi *grid.Grid) float64 {
+	op.checkFused("ApplyResidual", phi, r, b)
+	taps := op.gridTaps(phi)
+	in := phi.Data()
+	rd := r.Data()
+	bd := b.Data()
+	part := make([]float64, phi.Nx)
+	p.Exec(phi.Nx, func(_, x0, x1 int) {
+		buf := make([]float64, phi.Nz)
+		for i := x0; i < x1; i++ {
+			sum := 0.0
+			for j := 0; j < phi.Ny; j++ {
+				stencilRow(buf, in, phi.Index(i, j, 0), phi.Nz, op.Center, taps)
+				rrow := r.Index(i, j, 0)
+				brow := b.Index(i, j, 0)
+				for k := 0; k < phi.Nz; k++ {
+					v := bd[brow+k] - buf[k]
+					rd[rrow+k] = v
+					sum += v * v
+				}
+			}
+			part[i] = sum
+		}
+	})
+	grid.NoteTraffic(phi.Points(), 3)
+	return planeSum(part)
+}
+
+// ApplySmooth computes dst = phi + c*(rhs - op(phi)) in one sweep
+// (3 streams) — a damped Jacobi relaxation step with c = omega/diag.
+// dst must not alias phi; it may alias rhs.
+func (op *Operator) ApplySmooth(p *Pool, dst, phi, rhs *grid.Grid, c float64) {
+	op.checkFused("ApplySmooth", phi, dst, rhs)
+	taps := op.gridTaps(phi)
+	in := phi.Data()
+	out := dst.Data()
+	bd := rhs.Data()
+	p.Exec(phi.Nx, func(_, x0, x1 int) {
+		buf := make([]float64, phi.Nz)
+		for i := x0; i < x1; i++ {
+			for j := 0; j < phi.Ny; j++ {
+				srow := phi.Index(i, j, 0)
+				stencilRow(buf, in, srow, phi.Nz, op.Center, taps)
+				drow := dst.Index(i, j, 0)
+				brow := rhs.Index(i, j, 0)
+				for k := 0; k < phi.Nz; k++ {
+					out[drow+k] = in[srow+k] + c*(bd[brow+k]-buf[k])
+				}
+			}
+		}
+	})
+	grid.NoteTraffic(phi.Points(), 3)
+}
+
+// ApplyStep computes dst = beta*src + alpha*((op(src)) + v.*src) in one
+// sweep, with v optional (nil): the fused Kohn-Sham workhorse. With
+// alpha=1, beta=0 it is a Hamiltonian application dst = (op+v)(src);
+// with alpha=-tau, beta=1 it is the eigensolver's damped power step
+// dst = src - tau*H(src). 3 streams with v, 2 without. dst must not
+// alias src or v.
+func (op *Operator) ApplyStep(p *Pool, dst, src, v *grid.Grid, alpha, beta float64) {
+	if v != nil {
+		op.checkFused("ApplyStep", src, dst, v)
+	} else {
+		op.checkFused("ApplyStep", src, dst)
+	}
+	taps := op.gridTaps(src)
+	in := src.Data()
+	out := dst.Data()
+	var vd []float64
+	if v != nil {
+		vd = v.Data()
+	}
+	streams := 2
+	if v != nil {
+		streams = 3
+	}
+	p.Exec(src.Nx, func(_, x0, x1 int) {
+		buf := make([]float64, src.Nz)
+		for i := x0; i < x1; i++ {
+			for j := 0; j < src.Ny; j++ {
+				srow := src.Index(i, j, 0)
+				stencilRow(buf, in, srow, src.Nz, op.Center, taps)
+				if v != nil {
+					vrow := v.Index(i, j, 0)
+					for k := 0; k < src.Nz; k++ {
+						buf[k] += vd[vrow+k] * in[srow+k]
+					}
+				}
+				drow := dst.Index(i, j, 0)
+				switch {
+				case beta == 0 && alpha == 1:
+					copy(out[drow:drow+src.Nz], buf)
+				case beta == 1:
+					for k := 0; k < src.Nz; k++ {
+						out[drow+k] = in[srow+k] + alpha*buf[k]
+					}
+				default:
+					for k := 0; k < src.Nz; k++ {
+						out[drow+k] = beta*in[srow+k] + alpha*buf[k]
+					}
+				}
+			}
+		}
+	})
+	grid.NoteTraffic(src.Points(), streams)
+}
+
+// SORSweep performs one in-place lexicographic Gauss-Seidel sweep with
+// over-relaxation omega on op(phi) = rhs (halos of phi must be valid).
+// The fixed traversal order is the method's defining property, so the
+// sweep is inherently serial; this kernel replaces a per-point
+// accessor-based loop with a flat-slice traversal.
+func (op *Operator) SORSweep(phi, rhs *grid.Grid, omega float64) {
+	op.checkFused("SORSweep", phi, rhs)
+	diag := op.Center
+	taps := op.gridTaps(phi)
+	in := phi.Data()
+	bd := rhs.Data()
+	for i := 0; i < phi.Nx; i++ {
+		for j := 0; j < phi.Ny; j++ {
+			prow := phi.Index(i, j, 0)
+			brow := rhs.Index(i, j, 0)
+			for k := 0; k < phi.Nz; k++ {
+				s := prow + k
+				v := diag * in[s]
+				for _, tp := range taps {
+					v += tp.c * in[s+tp.off]
+				}
+				res := bd[brow+k] - v
+				in[s] += omega * res / diag
+			}
+		}
+	}
+	grid.NoteTraffic(phi.Points(), 3)
+}

@@ -51,12 +51,22 @@ func Laplacian(r int, h float64) *Operator {
 func (op *Operator) Points() int { return 6*op.R + 1 }
 
 // FlopsPerPoint returns the floating-point operations per output point:
-// one multiply per read plus adds to combine them.
+// one multiply per read plus adds to combine them. The fused kernels in
+// fused.go add at most two or three flops per point on top of this
+// (an axpy, a residual subtraction, or a dot accumulation) — noise next
+// to the 25 flops of the radius-2 operator, which is why fusing is
+// effectively free compute-wise while halving memory traffic.
 func (op *Operator) FlopsPerPoint() int { return 2*op.Points() - 1 }
 
 // BytesPerPoint returns the main-memory traffic per output point for a
-// streaming implementation: one read of the input and one write of the
-// output (neighbour reuse is served by cache).
+// streaming implementation of the plain operator: one read of the input
+// and one write of the output (neighbour reuse is served by cache),
+// 2 streams x 8 bytes. Fused variants move more streams per sweep but
+// far fewer per solver iteration: ApplyDot stays at 2 streams (16 B)
+// because the reduction reuses cache-hot values; ApplyResidual and
+// ApplySmooth are 3 streams (24 B); ApplyAxpy is 4 streams (32 B). The
+// unfused chains they replace cost 7-9 streams. See the package comment
+// for the full traffic model.
 func (op *Operator) BytesPerPoint() int { return 16 }
 
 // Apply computes dst = op(src) over the interior of src, reading halo
@@ -74,21 +84,17 @@ func (op *Operator) Apply(dst, src *grid.Grid) {
 	op.ApplyRange(dst, src, 0, src.Nx)
 }
 
-// ApplyRange computes dst = op(src) for interior planes i in [x0, x1).
-// It is the work-splitting primitive used by the hybrid master-only
-// approach, where one grid's computation is divided across threads.
-func (op *Operator) ApplyRange(dst, src *grid.Grid, x0, x1 int) {
-	r := op.R
-	sx, sy := src.Strides()
-	in := src.Data()
-	out := dst.Data()
-	center := op.Center
+// tap is one nonzero off-center stencil coefficient, flattened into a
+// (offset-in-floats, coefficient) pair for a particular grid layout.
+type tap struct {
+	off int
+	c   float64
+}
 
-	// Per-axis nonzero taps, flattened into (offset-in-floats, coeff).
-	type tap struct {
-		off int
-		c   float64
-	}
+// taps flattens the per-axis nonzero coefficients for a grid with the
+// given x and y strides (z stride is 1).
+func (op *Operator) taps(sx, sy int) []tap {
+	r := op.R
 	taps := make([]tap, 0, 6*r)
 	for o := -r; o <= r; o++ {
 		if o == 0 {
@@ -114,39 +120,71 @@ func (op *Operator) ApplyRange(dst, src *grid.Grid, x0, x1 int) {
 			taps = append(taps, tap{o, c})
 		}
 	}
+	return taps
+}
 
-	for i := x0; i < x1; i++ {
-		for j := 0; j < src.Ny; j++ {
-			srow := src.Index(i, j, 0)
-			drow := dst.Index(i, j, 0)
-			switch len(taps) {
-			case 12:
-				// Fast path for the paper's radius-2 operator: unrolled
-				// 13-point kernel (center + 12 taps).
-				t := taps
-				for k := 0; k < src.Nz; k++ {
-					s := srow + k
-					v := center * in[s]
-					v += t[0].c*in[s+t[0].off] + t[1].c*in[s+t[1].off] +
-						t[2].c*in[s+t[2].off] + t[3].c*in[s+t[3].off]
-					v += t[4].c*in[s+t[4].off] + t[5].c*in[s+t[5].off] +
-						t[6].c*in[s+t[6].off] + t[7].c*in[s+t[7].off]
-					v += t[8].c*in[s+t[8].off] + t[9].c*in[s+t[9].off] +
-						t[10].c*in[s+t[10].off] + t[11].c*in[s+t[11].off]
-					out[drow+k] = v
-				}
-			default:
-				for k := 0; k < src.Nz; k++ {
-					s := srow + k
-					v := center * in[s]
-					for _, tp := range taps {
-						v += tp.c * in[s+tp.off]
-					}
-					out[drow+k] = v
-				}
+// gridTaps builds the taps for a grid's memory layout.
+func (op *Operator) gridTaps(g *grid.Grid) []tap {
+	sx, sy := g.Strides()
+	return op.taps(sx, sy)
+}
+
+// stencilRow evaluates the stencil along one contiguous z-row: out[k] =
+// center*in[s0+k] + taps for k in [0, n). Every kernel in the package —
+// serial, parallel and fused — funnels through this routine, so all of
+// them produce bit-identical stencil values by construction.
+func stencilRow(out, in []float64, s0, n int, center float64, taps []tap) {
+	switch len(taps) {
+	case 12:
+		// Fast path for the paper's radius-2 operator: unrolled
+		// 13-point kernel (center + 12 taps).
+		t := taps
+		for k := 0; k < n; k++ {
+			s := s0 + k
+			v := center * in[s]
+			v += t[0].c*in[s+t[0].off] + t[1].c*in[s+t[1].off] +
+				t[2].c*in[s+t[2].off] + t[3].c*in[s+t[3].off]
+			v += t[4].c*in[s+t[4].off] + t[5].c*in[s+t[5].off] +
+				t[6].c*in[s+t[6].off] + t[7].c*in[s+t[7].off]
+			v += t[8].c*in[s+t[8].off] + t[9].c*in[s+t[9].off] +
+				t[10].c*in[s+t[10].off] + t[11].c*in[s+t[11].off]
+			out[k] = v
+		}
+	default:
+		for k := 0; k < n; k++ {
+			s := s0 + k
+			v := center * in[s]
+			for _, tp := range taps {
+				v += tp.c * in[s+tp.off]
 			}
+			out[k] = v
 		}
 	}
+}
+
+// applyBlock computes dst = op(src) over the sub-box [x0,x1) x [j0,j1) x
+// [k0,k1). It is the innermost building block of both the plane-split
+// and the cache-blocked traversals.
+func (op *Operator) applyBlock(dst, src *grid.Grid, taps []tap, x0, x1, j0, j1, k0, k1 int) {
+	in := src.Data()
+	out := dst.Data()
+	center := op.Center
+	n := k1 - k0
+	for i := x0; i < x1; i++ {
+		for j := j0; j < j1; j++ {
+			srow := src.Index(i, j, k0)
+			drow := dst.Index(i, j, k0)
+			stencilRow(out[drow:drow+n], in, srow, n, center, taps)
+		}
+	}
+}
+
+// ApplyRange computes dst = op(src) for interior planes i in [x0, x1).
+// It is the work-splitting primitive used by the hybrid master-only
+// approach, where one grid's computation is divided across threads.
+func (op *Operator) ApplyRange(dst, src *grid.Grid, x0, x1 int) {
+	op.applyBlock(dst, src, op.gridTaps(src), x0, x1, 0, src.Ny, 0, src.Nz)
+	grid.NoteTraffic((x1-x0)*src.Ny*src.Nz, 2)
 }
 
 // ApplyPeriodicReference fills src's halos periodically and applies the

@@ -1,0 +1,244 @@
+package stencil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// Pool is a set of persistent worker goroutines for shared-memory
+// parallel grid sweeps — the in-process analogue of the paper's
+// one-process-per-node, one-thread-per-core hybrid approaches. Workers
+// are started once and reused for every Exec, so the per-operation
+// synchronization cost is a channel handoff and a join rather than
+// goroutine creation.
+//
+// A nil *Pool is valid everywhere and runs serially on the caller, so
+// solver code takes a pool unconditionally.
+type Pool struct {
+	workers int
+	state   *poolState
+}
+
+// poolState is shared between the Pool handle, its workers and the GC
+// cleanup, so an unreferenced Pool's workers exit even without an
+// explicit Close.
+type poolState struct {
+	tasks chan func()
+	once  sync.Once
+}
+
+func (s *poolState) close() { s.once.Do(func() { close(s.tasks) }) }
+
+// NewPool starts a pool with the given number of workers (>= 1). The
+// calling goroutine acts as worker 0 during Exec, so workers-1
+// goroutines are spawned.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("stencil: pool with %d workers", workers))
+	}
+	p := &Pool{workers: workers}
+	if workers == 1 {
+		return p
+	}
+	// Unbuffered: a handoff succeeds only when a worker is parked at
+	// the receive, so a nested or concurrent Exec can never strand a
+	// task in a buffer no idle worker will drain.
+	st := &poolState{tasks: make(chan func())}
+	p.state = st
+	for w := 1; w < workers; w++ {
+		go func() {
+			for f := range st.tasks {
+				f()
+			}
+		}()
+	}
+	// Backstop: if the pool is dropped without Close, release the
+	// workers when the handle becomes unreachable.
+	runtime.AddCleanup(p, func(s *poolState) { s.close() }, st)
+	return p
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first
+// use. It is never closed; it is the default pool of the gpaw solvers.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(runtime.GOMAXPROCS(0)) })
+	return sharedPool
+}
+
+// Workers returns the pool's worker count (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close releases the worker goroutines. Exec must not be called after
+// Close. Close is idempotent and safe on a nil pool.
+func (p *Pool) Close() {
+	if p != nil && p.state != nil {
+		p.state.close()
+	}
+}
+
+// Exec splits the index range [0, n) across the pool's workers with
+// topology.Split and runs fn(worker, lo, hi) for every non-empty share,
+// returning when all shares are done. The caller executes worker 0's
+// share. A share whose handoff finds no idle worker (nested or
+// concurrent Exec, or a worker not yet parked at the receive) is
+// deferred and run on the caller after every other share has been
+// dispatched, so one missed handoff never delays the rest and a nested
+// Exec cannot deadlock — the partitioning, and therefore any per-share
+// result, is unchanged either way.
+func (p *Pool) Exec(n int, fn func(worker, lo, hi int)) {
+	w := p.Workers()
+	if w <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var deferred []func()
+	for i := 1; i < w; i++ {
+		lo, ln := topology.Split(n, w, i)
+		if ln == 0 {
+			continue
+		}
+		i, lo, hi := i, lo, lo+ln
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(i, lo, hi)
+		}
+		select {
+		case p.state.tasks <- task:
+		default:
+			deferred = append(deferred, task)
+		}
+	}
+	if lo, ln := topology.Split(n, w, 0); ln > 0 {
+		fn(0, lo, lo+ln)
+	}
+	for _, task := range deferred {
+		task()
+	}
+	wg.Wait()
+}
+
+// Cache-block extents for the tiled stencil traversal: within a
+// worker's plane range the (j, k) loop walks tiles so the 2R+1 source
+// planes in flight fit in cache while i advances (2.5-D blocking).
+// tileK exceeds common z extents, so rows usually stay contiguous and
+// only very wide grids are split in z.
+const (
+	tileJ = 32
+	tileK = 2048
+)
+
+// ApplyParallel computes dst = op(src) with the sweep split across the
+// pool's workers and cache-blocked over (j, k) tiles. Halos must have
+// been filled, exactly as for Apply; the result is bit-identical to
+// Apply for every worker count.
+func (op *Operator) ApplyParallel(p *Pool, dst, src *grid.Grid) {
+	if dst.Nx != src.Nx || dst.Ny != src.Ny || dst.Nz != src.Nz {
+		panic("stencil: ApplyParallel extent mismatch")
+	}
+	if src.H < op.R {
+		panic(fmt.Sprintf("stencil: source halo %d < stencil radius %d", src.H, op.R))
+	}
+	taps := op.gridTaps(src)
+	p.Exec(src.Nx, func(_, x0, x1 int) {
+		for j0 := 0; j0 < src.Ny; j0 += tileJ {
+			j1 := min(j0+tileJ, src.Ny)
+			for k0 := 0; k0 < src.Nz; k0 += tileK {
+				k1 := min(k0+tileK, src.Nz)
+				op.applyBlock(dst, src, taps, x0, x1, j0, j1, k0, k1)
+			}
+		}
+	})
+	grid.NoteTraffic(src.Points(), 2)
+}
+
+// The drivers below run the grid package's range-based BLAS-1 sweeps
+// across the pool. Reductions (Sum, Dot, AxpyDot) accumulate one
+// partial per x plane and sum the partials in plane order, so their
+// results are identical for every worker count (they differ from the
+// single-accumulator grid methods only in final-bit rounding).
+
+// Axpy computes g += a*x across the pool.
+func (p *Pool) Axpy(g *grid.Grid, a float64, x *grid.Grid) {
+	p.Exec(g.Nx, func(_, i0, i1 int) { g.AxpyRange(a, x, i0, i1) })
+}
+
+// AxpyScale computes g = s*g + a*x across the pool.
+func (p *Pool) AxpyScale(g *grid.Grid, a float64, x *grid.Grid, s float64) {
+	p.Exec(g.Nx, func(_, i0, i1 int) { g.AxpyScaleRange(a, x, s, i0, i1) })
+}
+
+// Scale computes g *= a across the pool.
+func (p *Pool) Scale(g *grid.Grid, a float64) {
+	p.Exec(g.Nx, func(_, i0, i1 int) { g.ScaleRange(a, i0, i1) })
+}
+
+// AddScalar adds v to every interior point across the pool.
+func (p *Pool) AddScalar(g *grid.Grid, v float64) {
+	p.Exec(g.Nx, func(_, i0, i1 int) { g.AddScalarRange(v, i0, i1) })
+}
+
+// Copy copies src's interior into g across the pool.
+func (p *Pool) Copy(g, src *grid.Grid) {
+	p.Exec(g.Nx, func(_, i0, i1 int) { g.CopyInteriorRange(src, i0, i1) })
+}
+
+// planeSum folds per-plane partials in plane order.
+func planeSum(part []float64) float64 {
+	sum := 0.0
+	for _, v := range part {
+		sum += v
+	}
+	return sum
+}
+
+// Sum returns the interior sum, reduced deterministically per plane.
+func (p *Pool) Sum(g *grid.Grid) float64 {
+	part := make([]float64, g.Nx)
+	p.Exec(g.Nx, func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			part[i] = g.SumRange(i, i+1)
+		}
+	})
+	return planeSum(part)
+}
+
+// Dot returns <g, o>, reduced deterministically per plane.
+func (p *Pool) Dot(g, o *grid.Grid) float64 {
+	part := make([]float64, g.Nx)
+	p.Exec(g.Nx, func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			part[i] = g.DotRange(o, i, i+1)
+		}
+	})
+	return planeSum(part)
+}
+
+// AxpyDot computes g += a*x and returns the updated <g, g> in the same
+// sweep, reduced deterministically per plane.
+func (p *Pool) AxpyDot(g *grid.Grid, a float64, x *grid.Grid) float64 {
+	part := make([]float64, g.Nx)
+	p.Exec(g.Nx, func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			part[i] = g.AxpyDotRange(a, x, i, i+1)
+		}
+	})
+	return planeSum(part)
+}

@@ -1,0 +1,424 @@
+package stencil
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// testGrid builds a deterministic source grid with periodic halos
+// filled and a matching empty destination.
+func testGrid(nx, ny, nz int) (src, dst *grid.Grid) {
+	src = grid.New(nx, ny, nz, 2)
+	src.FillFunc(func(i, j, k int) float64 {
+		return float64((i*31+j*17+k*7)%23)/3 - 2.5
+	})
+	src.FillHalosPeriodic()
+	dst = grid.New(nx, ny, nz, 2)
+	return src, dst
+}
+
+func TestPoolExecCoversRange(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		p := NewPool(w)
+		var count atomic.Int64
+		covered := make([]atomic.Int32, 37)
+		p.Exec(37, func(worker, lo, hi int) {
+			if worker < 0 || worker >= w {
+				t.Errorf("worker %d out of range", worker)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+				count.Add(1)
+			}
+		})
+		if count.Load() != 37 {
+			t.Fatalf("workers=%d: covered %d of 37 items", w, count.Load())
+		}
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d covered %d times", w, i, covered[i].Load())
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolExecEmptyAndNil(t *testing.T) {
+	var nilPool *Pool
+	ran := 0
+	nilPool.Exec(5, func(_, lo, hi int) { ran += hi - lo })
+	if ran != 5 {
+		t.Fatalf("nil pool covered %d of 5", ran)
+	}
+	nilPool.Exec(0, func(_, _, _ int) { t.Fatal("fn called for n=0") })
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", nilPool.Workers())
+	}
+	p := NewPool(4)
+	defer p.Close()
+	p.Exec(0, func(_, _, _ int) { t.Error("fn called for n=0") })
+	// More workers than items: every item still covered exactly once.
+	got := make([]int, 2)
+	p.Exec(2, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i]++
+		}
+	})
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("short range coverage = %v", got)
+	}
+}
+
+func TestPoolNestedExecDoesNotDeadlock(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	p.Exec(4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.Exec(8, func(_, l, h int) { total.Add(int64(h - l)) })
+		}
+	})
+	if total.Load() != 32 {
+		t.Fatalf("nested exec covered %d of 32", total.Load())
+	}
+}
+
+// TestApplyParallelMatchesSerial is the tentpole equivalence guarantee:
+// the pool-split, cache-blocked kernel must be bit-identical to the
+// serial Apply for every worker count.
+func TestApplyParallelMatchesSerial(t *testing.T) {
+	op := Laplacian(2, 0.4)
+	src, want := testGrid(19, 13, 11)
+	op.Apply(want, src)
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		got := grid.New(19, 13, 11, 2)
+		op.ApplyParallel(p, got, src)
+		if d := want.MaxAbsDiff(got); d != 0 {
+			t.Fatalf("workers=%d: ApplyParallel deviates from Apply by %g", w, d)
+		}
+		p.Close()
+	}
+}
+
+// TestApplyParallelTilesLargeGrid crosses the tileJ boundary so multiple
+// (j, k) tiles are exercised.
+func TestApplyParallelTilesLargeGrid(t *testing.T) {
+	op := Laplacian(2, 1)
+	src, want := testGrid(8, 2*tileJ+5, 9)
+	op.Apply(want, src)
+	p := NewPool(3)
+	defer p.Close()
+	got := grid.New(8, 2*tileJ+5, 9, 2)
+	op.ApplyParallel(p, got, src)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatalf("tiled parallel apply deviates by %g", d)
+	}
+}
+
+func TestScaledOperator(t *testing.T) {
+	op := Laplacian(2, 0.7)
+	neg := op.Scaled(-1)
+	src, a := testGrid(8, 8, 8)
+	b := grid.New(8, 8, 8, 2)
+	op.Apply(a, src)
+	a.Scale(-1)
+	neg.Apply(b, src)
+	if d := a.MaxAbsDiff(b); d != 0 {
+		t.Fatalf("Scaled(-1) deviates from negated apply by %g", d)
+	}
+}
+
+// fusedCase builds inputs shared by the fused-kernel equivalence tests.
+func fusedCase(t *testing.T) (op *Operator, src, ref, aux *grid.Grid) {
+	t.Helper()
+	op = Laplacian(2, 0.5)
+	src, ref = testGrid(10, 9, 8)
+	aux = grid.New(10, 9, 8, 2)
+	aux.FillFunc(func(i, j, k int) float64 { return float64((i+2*j+3*k)%7) - 3 })
+	return op, src, ref, aux
+}
+
+func TestApplyAxpyMatchesUnfused(t *testing.T) {
+	op, src, ref, aux := fusedCase(t)
+	const alpha = 0.37
+	// Unfused: dst = op(src); y += alpha*dst.
+	op.Apply(ref, src)
+	yWant := aux.Clone()
+	yWant.Axpy(alpha, ref)
+	for _, w := range []int{1, 4} {
+		p := NewPool(w)
+		dst := grid.New(10, 9, 8, 2)
+		y := aux.Clone()
+		op.ApplyAxpy(p, dst, y, alpha, src)
+		if d := ref.MaxAbsDiff(dst); d != 0 {
+			t.Fatalf("workers=%d: fused dst deviates by %g", w, d)
+		}
+		if d := yWant.MaxAbsDiff(y); d != 0 {
+			t.Fatalf("workers=%d: fused y deviates by %g", w, d)
+		}
+		p.Close()
+	}
+}
+
+func TestApplyDotMatchesUnfused(t *testing.T) {
+	op, src, ref, _ := fusedCase(t)
+	op.Apply(ref, src)
+	want := src.Dot(ref)
+	var prev float64
+	for i, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		dst := grid.New(10, 9, 8, 2)
+		got := op.ApplyDot(p, dst, src)
+		if d := ref.MaxAbsDiff(dst); d != 0 {
+			t.Fatalf("workers=%d: dst deviates by %g", w, d)
+		}
+		if rel := abs(got-want) / abs(want); rel > 1e-14 {
+			t.Fatalf("workers=%d: dot %g vs unfused %g", w, got, want)
+		}
+		if i > 0 && got != prev {
+			t.Fatalf("dot not deterministic across worker counts: %g vs %g", got, prev)
+		}
+		prev = got
+		p.Close()
+	}
+}
+
+func TestApplyResidualMatchesUnfused(t *testing.T) {
+	op, src, ref, b := fusedCase(t)
+	// Unfused: r = b - op(src).
+	op.Apply(ref, src)
+	ref.Scale(-1)
+	ref.Axpy(1, b)
+	want := ref.Dot(ref)
+	var prev float64
+	for i, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		r := grid.New(10, 9, 8, 2)
+		sumsq := op.ApplyResidual(p, r, b, src)
+		if d := ref.MaxAbsDiff(r); d != 0 {
+			t.Fatalf("workers=%d: fused residual deviates by %g", w, d)
+		}
+		if rel := abs(sumsq-want) / abs(want); rel > 1e-14 {
+			t.Fatalf("workers=%d: |r|^2 %g vs unfused %g", w, sumsq, want)
+		}
+		if i > 0 && sumsq != prev {
+			t.Fatalf("|r|^2 not deterministic across worker counts")
+		}
+		prev = sumsq
+		p.Close()
+	}
+}
+
+func TestApplySmoothMatchesUnfused(t *testing.T) {
+	op, src, ref, rhs := fusedCase(t)
+	const c = 0.11
+	// Unfused Jacobi step: dst = src + c*(rhs - op(src)).
+	op.Apply(ref, src)
+	ref.Scale(-1)
+	ref.Axpy(1, rhs)
+	want := src.Clone()
+	want.Axpy(c, ref)
+	p := NewPool(4)
+	defer p.Close()
+	dst := grid.New(10, 9, 8, 2)
+	op.ApplySmooth(p, dst, src, rhs, c)
+	if d := want.MaxAbsDiff(dst); d > 1e-15 {
+		t.Fatalf("fused smooth deviates by %g", d)
+	}
+}
+
+func TestApplyStepMatchesUnfused(t *testing.T) {
+	op, src, ref, v := fusedCase(t)
+	// Unfused Hamiltonian-style application: t = op(src) + v.*src.
+	op.Apply(ref, src)
+	for i := 0; i < src.Nx; i++ {
+		for j := 0; j < src.Ny; j++ {
+			for k := 0; k < src.Nz; k++ {
+				ref.Set(i, j, k, ref.At(i, j, k)+v.At(i, j, k)*src.At(i, j, k))
+			}
+		}
+	}
+	p := NewPool(4)
+	defer p.Close()
+	dst := grid.New(10, 9, 8, 2)
+	op.ApplyStep(p, dst, src, v, 1, 0)
+	if d := ref.MaxAbsDiff(dst); d != 0 {
+		t.Fatalf("ApplyStep(1, 0) deviates by %g", d)
+	}
+	// Damped step dst = src - tau*t.
+	const tau = 0.21
+	want := src.Clone()
+	want.Axpy(-tau, ref)
+	op.ApplyStep(p, dst, src, v, -tau, 1)
+	if d := want.MaxAbsDiff(dst); d != 0 {
+		t.Fatalf("ApplyStep(-tau, 1) deviates by %g", d)
+	}
+	// Nil potential, general alpha/beta.
+	op.Apply(ref, src)
+	want = src.Clone()
+	want.Scale(0.5)
+	want.Axpy(2, ref)
+	op.ApplyStep(p, dst, src, nil, 2, 0.5)
+	if d := want.MaxAbsDiff(dst); d > 1e-15 {
+		t.Fatalf("ApplyStep(2, 0.5, nil) deviates by %g", d)
+	}
+}
+
+func TestPoolReductionsDeterministic(t *testing.T) {
+	g, _ := testGrid(17, 7, 9)
+	o, _ := testGrid(17, 7, 9)
+	o.Scale(0.5)
+	var dots, sums []float64
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		dots = append(dots, p.Dot(g, o))
+		sums = append(sums, p.Sum(g))
+		p.Close()
+	}
+	for i := 1; i < len(dots); i++ {
+		if dots[i] != dots[0] || sums[i] != sums[0] {
+			t.Fatalf("pool reductions vary with worker count: %v %v", dots, sums)
+		}
+	}
+	if rel := abs(dots[0]-g.Dot(o)) / abs(g.Dot(o)); rel > 1e-14 {
+		t.Fatalf("pool dot %g far from serial %g", dots[0], g.Dot(o))
+	}
+}
+
+func TestPoolBlasDriversMatchSerial(t *testing.T) {
+	base, _ := testGrid(12, 8, 10)
+	x, _ := testGrid(12, 8, 10)
+	x.Scale(0.3)
+	p := NewPool(4)
+	defer p.Close()
+
+	want := base.Clone()
+	want.Axpy(0.7, x)
+	got := base.Clone()
+	p.Axpy(got, 0.7, x)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("pool Axpy deviates")
+	}
+
+	want = base.Clone()
+	want.AxpyScale(1.5, x, -0.25)
+	got = base.Clone()
+	p.AxpyScale(got, 1.5, x, -0.25)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("pool AxpyScale deviates")
+	}
+
+	want = base.Clone()
+	want.AddScalar(1.25)
+	got = base.Clone()
+	p.AddScalar(got, 1.25)
+	if d := want.MaxAbsDiff(got); d != 0 {
+		t.Fatal("pool AddScalar deviates")
+	}
+
+	got = grid.New(12, 8, 10, 2)
+	p.Copy(got, base)
+	if d := base.MaxAbsDiff(got); d != 0 {
+		t.Fatal("pool Copy deviates")
+	}
+
+	wantSq := base.Clone()
+	sq1 := wantSq.AxpyDot(-0.4, x)
+	got = base.Clone()
+	sq2 := p.AxpyDot(got, -0.4, x)
+	if d := wantSq.MaxAbsDiff(got); d != 0 {
+		t.Fatal("pool AxpyDot deviates")
+	}
+	if rel := abs(sq1-sq2) / abs(sq1); rel > 1e-14 {
+		t.Fatalf("AxpyDot norms differ: %g vs %g", sq1, sq2)
+	}
+}
+
+func TestSORSweepMatchesAccessorSweep(t *testing.T) {
+	op := Laplacian(2, 0.6)
+	src, _ := testGrid(9, 8, 7)
+	const omega = 1.3
+	b := grid.New(9, 8, 7, 2)
+	b.FillFunc(func(i, j, k int) float64 { return float64((i*j+k)%5) - 2 })
+
+	// Accessor-based reference sweep (the pre-kernel formulation, with
+	// the same X-then-Y-then-Z tap order as the kernel).
+	ref := src.Clone()
+	ref.FillHalosPeriodic()
+	diag := op.Center
+	for i := 0; i < ref.Nx; i++ {
+		for j := 0; j < ref.Ny; j++ {
+			for k := 0; k < ref.Nz; k++ {
+				v := diag * ref.At(i, j, k)
+				for o := -op.R; o <= op.R; o++ {
+					if o == 0 {
+						continue
+					}
+					v += op.X[o+op.R] * ref.At(i+o, j, k)
+				}
+				for o := -op.R; o <= op.R; o++ {
+					if o == 0 {
+						continue
+					}
+					v += op.Y[o+op.R] * ref.At(i, j+o, k)
+				}
+				for o := -op.R; o <= op.R; o++ {
+					if o == 0 {
+						continue
+					}
+					v += op.Z[o+op.R] * ref.At(i, j, k+o)
+				}
+				res := b.At(i, j, k) - v
+				ref.Set(i, j, k, ref.At(i, j, k)+omega*res/diag)
+			}
+		}
+	}
+
+	got := src.Clone()
+	got.FillHalosPeriodic()
+	op.SORSweep(got, b, omega)
+	if d := ref.MaxAbsDiff(got); d != 0 {
+		t.Fatalf("SORSweep deviates from accessor sweep by %g", d)
+	}
+}
+
+func TestTrafficCounterStreams(t *testing.T) {
+	op := Laplacian(2, 1)
+	src, dst := testGrid(8, 8, 8)
+	pts := int64(src.Points())
+
+	grid.ResetTraffic()
+	op.Apply(dst, src)
+	if got := grid.TrafficPoints(); got != 2*pts {
+		t.Fatalf("Apply traffic = %d, want %d", got, 2*pts)
+	}
+
+	grid.ResetTraffic()
+	b := grid.New(8, 8, 8, 2)
+	op.ApplyResidual(nil, dst, b, src)
+	if got := grid.TrafficPoints(); got != 3*pts {
+		t.Fatalf("ApplyResidual traffic = %d, want %d", got, 3*pts)
+	}
+
+	// The unfused residual chain: Apply + Scale + Axpy + self-Dot
+	// (2 + 2 + 3 + 1 streams).
+	grid.ResetTraffic()
+	op.Apply(dst, src)
+	dst.Scale(-1)
+	dst.Axpy(1, b)
+	dst.Dot(dst)
+	if got := grid.TrafficPoints(); got != 8*pts {
+		t.Fatalf("unfused residual chain traffic = %d, want %d", got, 8*pts)
+	}
+	grid.ResetTraffic()
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,205 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gpaw"
+	"repro/internal/grid"
+	"repro/internal/stencil"
+	"repro/internal/topology"
+)
+
+// Benchmarks for the shared-memory parallel stencil execution engine:
+// serial vs pool-split cache-blocked application, and fused vs unfused
+// conjugate gradients. TestWriteStencilBenchJSON distills the same
+// measurements into BENCH_stencil.json.
+
+const benchN = 64 // 64^3, the small end of the paper's grid sizes
+
+func benchSource() *grid.Grid {
+	src := grid.New(benchN, benchN, benchN, 2)
+	src.FillFunc(func(i, j, k int) float64 { return float64(i+j+k) * 0.01 })
+	src.FillHalosPeriodic()
+	return src
+}
+
+func BenchmarkApplySerial(b *testing.B) {
+	op := stencil.Laplacian(2, 1)
+	src := benchSource()
+	dst := grid.New(benchN, benchN, benchN, 2)
+	b.SetBytes(int64(src.Points() * op.BytesPerPoint()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(dst, src)
+	}
+}
+
+// BenchmarkApplyParallel measures the pool-split, cache-blocked kernel
+// at 1, 2, 4 and 8 workers on a 64^3 grid. On hardware with 4+ cores
+// the 4-worker case runs >= 2x faster than BenchmarkApplySerial (the
+// kernel is memory-bound, so the exact factor tracks the machine's
+// bandwidth-per-core ratio).
+func BenchmarkApplyParallel(b *testing.B) {
+	op := stencil.Laplacian(2, 1)
+	src := benchSource()
+	dst := grid.New(benchN, benchN, benchN, 2)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			p := stencil.NewPool(w)
+			defer p.Close()
+			b.SetBytes(int64(src.Points() * op.BytesPerPoint()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op.ApplyParallel(p, dst, src)
+			}
+		})
+	}
+}
+
+func benchPoissonProblem() *grid.Grid {
+	rhs := gpaw.GaussianDensity(topology.Dims{benchN, benchN, benchN}, 0.3, 1.2, 1)
+	rhs.Scale(-1)
+	return rhs
+}
+
+// BenchmarkCGFused runs the fused conjugate-gradient Poisson solve
+// (apply-with-dot, axpy-with-norm, axpy-with-scale: ~11 full-grid
+// passes per iteration). Both CG benchmarks run serially (Pool = nil)
+// so the fused/unfused comparison isolates kernel fusion from
+// worker-pool parallelism.
+func BenchmarkCGFused(b *testing.B) {
+	rhs := benchPoissonProblem()
+	ps := gpaw.NewPoisson(0.3, gpaw.Dirichlet)
+	ps.Pool = nil
+	ps.Tol = 1e-6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := grid.New(benchN, benchN, benchN, 2)
+		if _, _, err := ps.SolveCG(phi, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGUnfused runs the unfused serial reference formulation
+// (~18 passes per iteration) for comparison.
+func BenchmarkCGUnfused(b *testing.B) {
+	rhs := benchPoissonProblem()
+	ps := gpaw.NewPoisson(0.3, gpaw.Dirichlet)
+	ps.Pool = nil
+	ps.Tol = 1e-6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phi := grid.New(benchN, benchN, benchN, 2)
+		if _, _, err := ps.SolveCGReference(phi, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stencilBenchReport is the schema of BENCH_stencil.json.
+type stencilBenchReport struct {
+	Grid            [3]int             `json:"grid"`
+	GOMAXPROCS      int                `json:"gomaxprocs"`
+	NumCPU          int                `json:"num_cpu"`
+	ApplySerialNs   float64            `json:"apply_serial_ns"`
+	ApplyParallelNs map[string]float64 `json:"apply_parallel_ns"`
+	ApplySpeedup    map[string]float64 `json:"apply_speedup"`
+	// Full-grid memory passes per CG iteration, measured with the
+	// grid traffic counter (deterministic, hardware-independent).
+	CGPassesPerIterFused   float64 `json:"cg_passes_per_iter_fused"`
+	CGPassesPerIterUnfused float64 `json:"cg_passes_per_iter_unfused"`
+	CGTrafficRatio         float64 `json:"cg_traffic_ratio"`
+}
+
+// timeApply returns the best-of-reps wall time of one application.
+func timeApply(reps int, apply func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		apply()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds())
+}
+
+// TestWriteStencilBenchJSON measures the engine and, when
+// BENCH_STENCIL_JSON is set, rewrites BENCH_stencil.json at the
+// repository root (gated so routine `go test ./...` runs don't dirty
+// the committed file with host-specific timings). Wall-clock speedups
+// are informational (they depend on the host's cores and memory
+// bandwidth); the traffic reduction is asserted because it is
+// deterministic.
+func TestWriteStencilBenchJSON(t *testing.T) {
+	const n = 48 // keep the measurement quick; passes/iter are size-independent
+	op := stencil.Laplacian(2, 1)
+	src := grid.New(n, n, n, 2)
+	src.FillFunc(func(i, j, k int) float64 { return float64(i+j+k) * 0.01 })
+	src.FillHalosPeriodic()
+	dst := grid.New(n, n, n, 2)
+
+	rep := stencilBenchReport{
+		Grid:            [3]int{n, n, n},
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		ApplyParallelNs: map[string]float64{},
+		ApplySpeedup:    map[string]float64{},
+	}
+	const reps = 7
+	op.Apply(dst, src) // warm up
+	rep.ApplySerialNs = timeApply(reps, func() { op.Apply(dst, src) })
+	for _, w := range []int{1, 2, 4, 8} {
+		p := stencil.NewPool(w)
+		op.ApplyParallel(p, dst, src)
+		ns := timeApply(reps, func() { op.ApplyParallel(p, dst, src) })
+		key := fmt.Sprintf("workers%d", w)
+		rep.ApplyParallelNs[key] = ns
+		rep.ApplySpeedup[key] = rep.ApplySerialNs / ns
+		p.Close()
+	}
+
+	rhs := gpaw.GaussianDensity(topology.Dims{n, n, n}, 0.3, 1.2, 1)
+	rhs.Scale(-1)
+	ps := gpaw.NewPoisson(0.3, gpaw.Dirichlet)
+	ps.Pool = nil
+	ps.Tol = 1e-7
+	phi := grid.New(n, n, n, 2)
+	grid.ResetTraffic()
+	itRef, _, err := ps.SolveCGReference(phi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.CGPassesPerIterUnfused = float64(grid.TrafficPoints()) / float64(itRef) / float64(rhs.Points())
+	phi = grid.New(n, n, n, 2)
+	grid.ResetTraffic()
+	itFused, _, err := ps.SolveCG(phi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.CGPassesPerIterFused = float64(grid.TrafficPoints()) / float64(itFused) / float64(rhs.Points())
+	grid.ResetTraffic()
+	rep.CGTrafficRatio = rep.CGPassesPerIterFused / rep.CGPassesPerIterUnfused
+
+	if rep.CGTrafficRatio >= 0.75 {
+		t.Fatalf("fused CG moves %.0f%% of unfused traffic, want < 75%%", 100*rep.CGTrafficRatio)
+	}
+
+	if os.Getenv("BENCH_STENCIL_JSON") != "" {
+		out, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_stencil.json", append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("serial %.2fms, 4-worker speedup %.2fx (on %d CPUs), CG traffic ratio %.2f",
+		rep.ApplySerialNs/1e6, rep.ApplySpeedup["workers4"], rep.NumCPU, rep.CGTrafficRatio)
+}
