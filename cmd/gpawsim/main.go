@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, all")
+		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	flag.Parse()
 
@@ -34,6 +34,7 @@ func main() {
 		"fig6":     func() []*bench.Experiment { return []*bench.Experiment{bench.Figure6(opts)} },
 		"fig7":     func() []*bench.Experiment { return []*bench.Experiment{bench.Figure7(opts)} },
 		"headline": func() []*bench.Experiment { return []*bench.Experiment{bench.Headline(opts)} },
+		"dist":     func() []*bench.Experiment { return []*bench.Experiment{bench.DistSolvers(opts)} },
 		"ablations": func() []*bench.Experiment {
 			return []*bench.Experiment{
 				bench.AblationLatencyHiding(opts),
@@ -47,7 +48,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations"}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -25,7 +25,22 @@
 //     that makes the savings observable (BENCH_stencil.json).
 //   - internal/gpaw, internal/linalg — a miniature real-space DFT stack
 //     (Poisson, Kohn–Sham eigensolver, SCF) providing the workload
-//     context GPAW gives the kernel.
+//     context GPAW gives the kernel — in two forms: the serial solvers,
+//     and the distributed solver layer (dist.go) that runs every one of
+//     them rank-parallel over an MPI Cartesian process grid with halo
+//     exchange through internal/core's overlap protocol, realizing the
+//     paper's four programming approaches at the solver level (per-rank
+//     worker pools inside MPI ranks). Multigrid coarsening follows a
+//     redistribute-or-serialize policy when levels become thinner than
+//     the halo (grid.NewDecompOrFallback).
+//   - internal/detsum — exact, order-independent float64 summation (a
+//     small Kulisch-style superaccumulator). Every reduction in the
+//     solver stack accumulates through it, which makes dot products,
+//     norms and sums bit-identical for every thread count, rank count
+//     and process-grid shape — the determinism contract the cross-rank
+//     differential test harness (internal/gpaw/dist_test.go) asserts:
+//     distributed SCF total energies equal the serial ones bit for bit
+//     on 1/2/4/8 ranks for all four approaches.
 //   - internal/bench — drivers that regenerate Table I and Figures 2,
 //     5, 6, 7 plus ablations; exercised by bench_test.go in this
 //     directory and by cmd/gpawsim.

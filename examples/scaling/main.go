@@ -1,16 +1,55 @@
 // Scaling: a weak-scaling (Gustafson) study on the calibrated Blue
 // Gene/P model — one 192^3 grid per core, all four programming
-// approaches, printed as a speedup-per-core-count table. A miniature
-// version of the paper's Figure 6 that runs in a couple of seconds.
+// approaches, printed as a speedup-per-core-count table (a miniature
+// version of the paper's Figure 6) — followed by a strong-scaling run
+// of the REAL distributed Poisson solver on the in-process MPI runtime,
+// whose solution is bit-identical at every rank count.
 package main
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/bgpsim"
 	"repro/internal/core"
+	"repro/internal/gpaw"
+	"repro/internal/grid"
+	"repro/internal/mpi"
 	"repro/internal/topology"
 )
+
+// distCG runs the distributed CG Poisson solver on p in-process ranks
+// and returns the iteration count, the converged residual and the wall
+// time.
+func distCG(global topology.Dims, procs topology.Dims, rhs *grid.Grid, h float64) (int, float64, time.Duration) {
+	var iters int
+	var res float64
+	start := time.Now()
+	err := mpi.Run(procs.Count(), mpi.ThreadSingle, func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, gpaw.DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: gpaw.Periodic,
+			Approach: core.FlatOptimized, Batch: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, h)
+		phi := d.NewLocalGrid()
+		it, r, err := ps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			iters, res = it, r
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return iters, res, time.Since(start)
+}
 
 func main() {
 	fmt.Println("weak scaling on the Blue Gene/P model: grids = cores, 192^3, batch 8")
@@ -39,4 +78,25 @@ func main() {
 	}
 	fmt.Println("\nideal weak scaling would keep each column flat; the growth is the")
 	fmt.Println("communication increase the paper attributes to finer partitioning")
+
+	// Real runtime: the distributed CG Poisson solver across rank
+	// counts. The iterate sequence is bit-identical everywhere — the
+	// iteration count never changes with the decomposition.
+	fmt.Println("\nreal distributed CG Poisson solve, 32^3 periodic, flat optimized:")
+	fmt.Printf("%8s %8s %8s %12s\n", "ranks", "layout", "iters", "time")
+	global := topology.Dims{32, 32, 32}
+	h := 0.3
+	// A localized charge blob: many Fourier modes, so CG does real work.
+	rhs := grid.NewDims(global, 2)
+	rhs.FillFunc(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-13.5, float64(j)-17.5, float64(k)-11.5
+		return math.Exp(-(dx*dx + dy*dy + dz*dz) / 18)
+	})
+	for _, procs := range []topology.Dims{{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
+		it, _, dt := distCG(global, procs, rhs, h)
+		fmt.Printf("%8d %8s %8d %11.3fs\n", procs.Count(), procs.String(), it, dt.Seconds())
+	}
+	fmt.Println("\nidentical iteration counts at every rank count: the exact")
+	fmt.Println("(order-independent) reductions make the distributed solver")
+	fmt.Println("bit-identical to the serial one")
 }

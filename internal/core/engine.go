@@ -382,6 +382,51 @@ func (e *Engine) ApplyAllHybridMasterOnly(dst, src []*grid.Grid) {
 	e.applyGrids(dst, src, 0, compute)
 }
 
+// WorkerPool exposes the engine's per-node worker pool (nil for the
+// flat approaches). The distributed solver layer in internal/gpaw uses
+// it to split local compute while the engine handles communication.
+func (e *Engine) WorkerPool() *stencil.Pool { return e.pool }
+
+// RunBatches executes the engine's configured exchange protocol
+// (serialized or async, batched, double-buffered) over src on the
+// calling goroutine and invokes compute for each batch once its halos
+// are installed. It is ApplyAll with the computation replaced by a
+// callback — the hook the distributed solvers use to run fused kernels
+// behind the paper's overlap protocol.
+func (e *Engine) RunBatches(src []*grid.Grid, compute func(b Batch)) {
+	e.applyGrids(src, src, 0, func(_, _ []*grid.Grid, b Batch) { compute(b) })
+}
+
+// RunBatchesHybridMultiple divides src across the engine's worker pool;
+// each worker runs the full protocol — including its own communication —
+// on its share, and compute is invoked with batch indices into the full
+// src slice. The world must be in MULTIPLE thread mode. Without a pool
+// it degrades to RunBatches.
+func (e *Engine) RunBatchesHybridMultiple(src []*grid.Grid, compute func(b Batch)) {
+	if e.pool == nil {
+		e.RunBatches(src, compute)
+		return
+	}
+	if e.cart.World().Mode() != mpi.ThreadMultiple {
+		panic("core: hybrid multiple requires a MULTIPLE-mode world")
+	}
+	stride := tagStride(len(src))
+	e.pool.Exec(len(src), func(w, lo, hi int) {
+		e.applyGrids(src[lo:hi], src[lo:hi], w*stride, func(_, _ []*grid.Grid, b Batch) {
+			compute(Batch{Lo: b.Lo + lo, Hi: b.Hi + lo})
+		})
+	})
+}
+
+// Exchange fills the halos of every grid from the neighbouring ranks
+// (and from the grid itself across periodic wraps in undivided
+// dimensions) using the engine's configured protocol, without any
+// computation. Corner halos are not filled — the axis-aligned stencils
+// never read them, matching GPAW.
+func (e *Engine) Exchange(grids []*grid.Grid) {
+	e.RunBatches(grids, func(Batch) {})
+}
+
 // Apply dispatches to the approach-specific driver.
 func (e *Engine) Apply(a Approach, dst, src []*grid.Grid) {
 	switch a {

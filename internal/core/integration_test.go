@@ -5,10 +5,10 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/gpaw"
 	"repro/internal/grid"
 	"repro/internal/linalg"
 	"repro/internal/mpi"
+	"repro/internal/stencil"
 	"repro/internal/topology"
 )
 
@@ -42,7 +42,10 @@ func TestEngineWithKineticOperator(t *testing.T) {
 	const procs = 4
 	procGrid := topology.DecomposeGrid(procs, global)
 	decomp := grid.MustDecomp(global, procGrid, 2)
-	kin := gpaw.Kinetic(2, 0.4)
+	// The DFT kinetic operator -(1/2)∇², built directly so the engine's
+	// tests stay independent of the solver package (which now imports
+	// core for its distributed layer).
+	kin := stencil.Laplacian(2, 0.4).Scaled(-0.5)
 
 	// Sequential reference: H with V = nil and periodic halos.
 	seqSrc := grid.NewDims(global, 2)
@@ -171,9 +174,9 @@ func TestDistributedPoissonJacobi(t *testing.T) {
 		return math.Sin(2*math.Pi*float64(i)/12) * math.Cos(2*math.Pi*float64(j)/12)
 	}
 
-	// Sequential reference sweeps.
-	seqPoisson := gpaw.NewPoisson(h, gpaw.Periodic)
-	op := seqPoisson.Op
+	// Sequential reference sweeps with the Poisson solver's radius-2
+	// Laplacian.
+	op := stencil.Laplacian(2, h)
 	seqPhi := grid.NewDims(global, 2)
 	seqRhs := grid.NewDims(global, 2)
 	seqRhs.FillFunc(rhsOf)

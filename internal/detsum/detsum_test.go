@@ -1,0 +1,219 @@
+package detsum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sumVia adds vs split into the given contiguous parts, each into its
+// own Acc, merged in a shuffled order.
+func sumVia(vs []float64, cuts []int, mergeOrder []int) float64 {
+	accs := make([]*Acc, len(cuts)+1)
+	lo := 0
+	bounds := append(append([]int(nil), cuts...), len(vs))
+	for p, hi := range bounds {
+		accs[p] = &Acc{}
+		for _, v := range vs[lo:hi] {
+			accs[p].Add(v)
+		}
+		lo = hi
+	}
+	total := &Acc{}
+	for _, p := range mergeOrder {
+		total.Merge(accs[p])
+	}
+	return total.Round()
+}
+
+func TestPartitionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vs := make([]float64, 4096)
+	for i := range vs {
+		// Wild dynamic range with cancellation.
+		vs[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(60)-30))
+	}
+	want := sumVia(vs, nil, []int{0})
+	for trial := 0; trial < 50; trial++ {
+		nParts := 1 + rng.Intn(7)
+		cuts := make([]int, nParts)
+		for i := range cuts {
+			cuts[i] = rng.Intn(len(vs))
+		}
+		// Sort cuts (insertion).
+		for i := 1; i < len(cuts); i++ {
+			for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+				cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+			}
+		}
+		order := rng.Perm(nParts + 1)
+		if got := sumVia(vs, cuts, order); got != want {
+			t.Fatalf("trial %d: partitioned sum %.17g != %.17g", trial, got, want)
+		}
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vs := make([]float64, 1000)
+	for i := range vs {
+		vs[i] = rng.NormFloat64() * math.Pow(2, float64(rng.Intn(200)-100))
+	}
+	want := Sum(vs)
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(vs))
+		var a Acc
+		for _, p := range perm {
+			a.Add(vs[p])
+		}
+		if got := a.Round(); got != want {
+			t.Fatalf("trial %d: permuted sum %.17g != %.17g", trial, got, want)
+		}
+	}
+}
+
+func TestExactSmallIntegers(t *testing.T) {
+	var a Acc
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+		a.Add(float64(-i))
+	}
+	if got := a.Round(); got != 0 {
+		t.Fatalf("telescoping sum = %g, want 0", got)
+	}
+	a.Reset()
+	a.Add(1e16)
+	a.Add(1)
+	a.Add(-1e16)
+	if got := a.Round(); got != 1 {
+		t.Fatalf("cancellation sum = %g, want 1 (exactness lost)", got)
+	}
+}
+
+func TestSubnormalsAndExtremes(t *testing.T) {
+	cases := [][]float64{
+		{math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64},
+		{5e-324, 1.0, -1.0},
+		{math.MaxFloat64 / 4, math.MaxFloat64 / 4, -math.MaxFloat64 / 4},
+		{1e308, -1e308, 3},
+		{2.2250738585072014e-308, -1.1125369292536007e-308}, // normal/subnormal boundary
+	}
+	for ci, vs := range cases {
+		want := Sum(vs)
+		rev := &Acc{}
+		for i := len(vs) - 1; i >= 0; i-- {
+			rev.Add(vs[i])
+		}
+		if got := rev.Round(); got != want {
+			t.Fatalf("case %d: reversed %.17g != %.17g", ci, got, want)
+		}
+	}
+	// Exactness at the subnormal floor.
+	var a Acc
+	a.Add(5e-324)
+	a.Add(5e-324)
+	if got := a.Round(); got != 1e-323 {
+		t.Fatalf("subnormal doubling = %g", got)
+	}
+}
+
+func TestNonFinite(t *testing.T) {
+	var a Acc
+	a.Add(1)
+	a.Add(math.Inf(1))
+	if got := a.Round(); !math.IsInf(got, 1) {
+		t.Fatalf("Inf lost: %g", got)
+	}
+	var b Acc
+	b.Add(math.NaN())
+	if got := b.Round(); !math.IsNaN(got) {
+		t.Fatalf("NaN lost: %g", got)
+	}
+}
+
+func TestCarrySaturation(t *testing.T) {
+	// Far more Adds than carryEvery, alternating signs and magnitudes;
+	// compare against a fresh accumulator fed the same values in pairs.
+	var a, b Acc
+	n := carryEvery*2 + 123
+	for i := 0; i < n; i++ {
+		v := float64(i%97) * 1.25e10
+		if i%2 == 1 {
+			v = -v / 3
+		}
+		a.Add(v)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := float64(i%97) * 1.25e10
+		if i%2 == 1 {
+			v = -v / 3
+		}
+		b.Add(v)
+	}
+	if a.Round() != b.Round() {
+		t.Fatalf("carry saturation broke invariance: %.17g vs %.17g", a.Round(), b.Round())
+	}
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var a Acc
+	for i := 0; i < 500; i++ {
+		a.Add(rng.NormFloat64() * 1e-7)
+	}
+	want := a.Round()
+	w := a.Transport(nil)
+	if len(w) != TransportLen {
+		t.Fatalf("transport length %d != %d", len(w), TransportLen)
+	}
+	if got := RoundTransport(w); got != want {
+		t.Fatalf("transport round-trip %.17g != %.17g", got, want)
+	}
+	// Merging transports must equal merging accumulators.
+	var b Acc
+	for i := 0; i < 500; i++ {
+		b.Add(rng.NormFloat64() * 1e9)
+	}
+	bw := b.Transport(nil)
+	aw := append([]float64(nil), w...)
+	MergeTransport(aw, bw)
+	var ab Acc
+	ab.Merge(&a)
+	ab.Merge(&b)
+	if got := RoundTransport(aw); got != ab.Round() {
+		t.Fatalf("transport merge %.17g != acc merge %.17g", got, ab.Round())
+	}
+}
+
+// TestQuickAddMatchesValue: for random triples the accumulator holds the
+// mathematically exact sum — adding x, y, -x must leave exactly y.
+func TestQuickAddMatchesValue(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+			return true
+		}
+		var a Acc
+		a.Add(x)
+		a.Add(y)
+		a.Add(-x)
+		return a.Round() == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, 4096)
+	for i := range vs {
+		vs[i] = rng.NormFloat64()
+	}
+	var a Acc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(vs[i&4095])
+	}
+	_ = a.Round()
+}

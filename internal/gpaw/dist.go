@@ -1,0 +1,984 @@
+package gpaw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/detsum"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/stencil"
+	"repro/internal/topology"
+)
+
+// This file is the distributed solver layer: the Poisson solvers, the
+// multigrid V-cycle, the eigensolver and the SCF loop of this package
+// run rank-parallel over an MPI Cartesian process grid, with each rank
+// additionally running the shared-memory worker pool inside it — the
+// paper's hybrid execution model lifted from a single stencil apply to
+// the full solver stack.
+//
+// Determinism contract: every distributed solver is bit-identical to
+// its serial counterpart, for every rank count, process-grid shape and
+// thread count. Three mechanisms make this possible:
+//
+//  1. Halo exchange copies exact interior values (internal/core's
+//     async/double-buffered protocol), so distributed stencil reads see
+//     the same numbers serial reads see through FillHalos*.
+//  2. Reductions accumulate into detsum.Acc and merge per-rank partial
+//     accumulators exactly through mpi.AllreduceFunc in rank order, so
+//     every dot product, norm and sum equals the serial value bitwise
+//     regardless of the decomposition or message arrival order.
+//  3. Everything else is elementwise and runs the very same fused
+//     kernels (internal/stencil) on local sub-domains.
+//
+// The four programming approaches map onto solver execution as:
+// flat original (serialized exchange, no batching, no threads), flat
+// optimized (async exchange + double buffering + batching), hybrid
+// multiple (wave-function batches divided among pool workers, each
+// worker doing its own communication; MPI THREAD_MULTIPLE), and hybrid
+// master-only (master thread communicates, each grid's compute is
+// fork-joined across the pool; THREAD_SINGLE suffices).
+
+// distTag is the base tag of the solver layer's gather/scatter traffic,
+// far above the engine's halo-exchange tag space.
+const distTag = 1 << 24
+
+// DistConfig describes one rank's share of a distributed calculation.
+type DistConfig struct {
+	Global   topology.Dims // global grid extents
+	Procs    topology.Dims // process grid (product must equal comm size)
+	Halo     int           // halo thickness = stencil radius (2 for the paper's operators)
+	BC       Boundary
+	Approach core.Approach
+	Threads  int // compute threads per rank for the hybrid approaches
+	Batch    int // grids per halo-exchange message batch
+}
+
+// Dist ties one MPI rank into a distributed real-space calculation: the
+// local sub-domain, the Cartesian communicator, the halo-exchange
+// engine and the per-rank worker pool.
+type Dist struct {
+	Cart     *mpi.Cart
+	Decomp   *grid.Decomp
+	BC       Boundary
+	Approach core.Approach
+
+	eng   *core.Engine
+	pool  *stencil.Pool
+	coord topology.Coord
+	off   topology.Coord
+	local topology.Dims
+}
+
+// NewDist builds the per-rank distributed context. Every rank of the
+// communicator must call it with identical configuration.
+func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
+	if cfg.Procs.Count() != comm.Size() {
+		return nil, fmt.Errorf("gpaw: process grid %v needs %d ranks, have %d",
+			cfg.Procs, cfg.Procs.Count(), comm.Size())
+	}
+	dec, err := grid.NewDecomp(cfg.Global, cfg.Procs, cfg.Halo)
+	if err != nil {
+		return nil, err
+	}
+	periodic := cfg.BC == Periodic
+	cart := comm.CartCreate(cfg.Procs, [3]bool{periodic, periodic, periodic}, true)
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
+	// The engine's operator only shapes the exchange (face thickness =
+	// its radius); solvers pass their own operators to the kernels.
+	shape := stencil.Laplacian(cfg.Halo, 1)
+	eng, err := core.NewEngine(cart, dec, shape, periodic, core.OptionsFor(cfg.Approach, cfg.Batch, cfg.Threads))
+	if err != nil {
+		return nil, err
+	}
+	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach, eng: eng, pool: eng.WorkerPool()}
+	d.coord = cart.Coords(cart.Rank())
+	d.off = dec.Offset(d.coord)
+	d.local = dec.LocalDims(d.coord)
+	return d, nil
+}
+
+// Close releases the rank's worker pool.
+func (d *Dist) Close() { d.eng.Close() }
+
+// Pool returns the rank's worker pool (nil for the flat approaches).
+func (d *Dist) Pool() *stencil.Pool { return d.pool }
+
+// Coord returns this rank's Cartesian coordinate.
+func (d *Dist) Coord() topology.Coord { return d.coord }
+
+// Offset returns the global offset of this rank's sub-domain.
+func (d *Dist) Offset() topology.Coord { return d.off }
+
+// LocalDims returns this rank's sub-domain extents.
+func (d *Dist) LocalDims() topology.Dims { return d.local }
+
+// NewLocalGrid allocates a local grid covering this rank's sub-domain.
+func (d *Dist) NewLocalGrid() *grid.Grid { return grid.NewDims(d.local, d.Decomp.Halo) }
+
+// ScatterReplicated copies this rank's sub-domain out of a global grid
+// every rank holds (deterministically constructed inputs such as
+// external potentials). No communication.
+func (d *Dist) ScatterReplicated(global *grid.Grid) *grid.Grid {
+	return d.Decomp.Scatter(global, d.coord)
+}
+
+// Exchange fills the halos of the given local grids from the
+// neighbouring ranks using the configured protocol.
+func (d *Dist) Exchange(gs ...*grid.Grid) { d.eng.Exchange(gs) }
+
+// Stats returns the engine's accumulated communication statistics.
+func (d *Dist) Stats() core.Stats { return d.eng.Stats() }
+
+// --- deterministic global reductions -------------------------------
+
+// reduceAccs merges every rank's accumulators exactly (rank-ordered,
+// arrival-order independent) and returns the rounded global values, one
+// per accumulator. All ranks receive identical results.
+func (d *Dist) reduceAccs(accs []*detsum.Acc) []float64 {
+	in := make([]float64, 0, len(accs)*detsum.TransportLen)
+	for _, a := range accs {
+		in = a.Transport(in)
+	}
+	out := make([]float64, len(in))
+	d.Cart.AllreduceFunc(in, out, detsum.MergeTransport)
+	vals := make([]float64, len(accs))
+	for i := range accs {
+		vals[i] = detsum.RoundTransport(out[i*detsum.TransportLen : (i+1)*detsum.TransportLen])
+	}
+	return vals
+}
+
+// reduceAcc reduces a single accumulator to its global value.
+func (d *Dist) reduceAcc(a *detsum.Acc) float64 {
+	return d.reduceAccs([]*detsum.Acc{a})[0]
+}
+
+// Sum returns the global interior sum, bit-identical to the serial
+// Pool.Sum over the undecomposed grid.
+func (d *Dist) Sum(g *grid.Grid) float64 {
+	var a detsum.Acc
+	d.pool.SumAcc(g, &a)
+	return d.reduceAcc(&a)
+}
+
+// Dot returns the global inner product <a, b>.
+func (d *Dist) Dot(a, b *grid.Grid) float64 {
+	var acc detsum.Acc
+	d.pool.DotAcc(a, b, &acc)
+	return d.reduceAcc(&acc)
+}
+
+// Norm2 returns the global L2 norm.
+func (d *Dist) Norm2(g *grid.Grid) float64 { return math.Sqrt(d.Dot(g, g)) }
+
+// DotNorm returns the global <a, b> and <a, a> in one local pooled
+// sweep and one reduction.
+func (d *Dist) DotNorm(a, b *grid.Grid) (dot, sumsq float64) {
+	var dotAcc, sqAcc detsum.Acc
+	d.pool.DotNormAcc(a, b, &dotAcc, &sqAcc)
+	vals := d.reduceAccs([]*detsum.Acc{&dotAcc, &sqAcc})
+	return vals[0], vals[1]
+}
+
+// AxpyDot performs g += a*x locally and returns the global updated
+// <g, g> in the same sweep.
+func (d *Dist) AxpyDot(g *grid.Grid, a float64, x *grid.Grid) float64 {
+	var acc detsum.Acc
+	d.pool.AxpyDotAcc(g, a, x, &acc)
+	return d.reduceAcc(&acc)
+}
+
+// removeMeanDist subtracts the global interior mean — the distributed
+// twin of removeMean, bit-identical because the sum is exact.
+func (d *Dist) removeMeanDist(g *grid.Grid) {
+	mean := d.Sum(g) / float64(d.Decomp.Global.Count())
+	d.pool.AddScalar(g, -mean)
+}
+
+// --- gather / scatter / broadcast ----------------------------------
+
+// maxLocalPoints returns the largest sub-domain size of the decomposition.
+func maxLocalPoints(dec *grid.Decomp) int {
+	max := 0
+	for r := 0; r < dec.Procs.Count(); r++ {
+		if n := dec.LocalDims(dec.Procs.Coord(r)).Count(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// gatherDec assembles the global grid of the given decomposition from
+// every rank's local interior on rank 0 (returns nil elsewhere). The
+// multigrid hierarchy passes per-level decompositions.
+func (d *Dist) gatherDec(dec *grid.Decomp, local *grid.Grid) *grid.Grid {
+	if d.Cart.Rank() != 0 {
+		d.Cart.Send(0, distTag, local.InteriorSlice())
+		return nil
+	}
+	g := grid.NewDims(dec.Global, local.H)
+	dec.Gather(g, d.coord, local)
+	buf := make([]float64, maxLocalPoints(dec))
+	for r := 1; r < d.Cart.Size(); r++ {
+		rc := dec.Procs.Coord(r)
+		n := dec.LocalDims(rc).Count()
+		d.Cart.Recv(r, distTag, buf[:n])
+		lg := grid.NewDims(dec.LocalDims(rc), 0)
+		lg.SetInterior(buf[:n])
+		dec.Gather(g, rc, lg)
+	}
+	return g
+}
+
+// gather0 is gatherDec over the solver-level decomposition.
+func (d *Dist) gather0(local *grid.Grid) *grid.Grid { return d.gatherDec(d.Decomp, local) }
+
+// scatter0 distributes rank 0's global grid into every rank's local
+// interior (halos are left stale; exchange before reading them).
+func (d *Dist) scatter0(global, local *grid.Grid) {
+	if d.Cart.Rank() == 0 {
+		for r := 1; r < d.Cart.Size(); r++ {
+			rc := d.Decomp.Procs.Coord(r)
+			d.Cart.Send(r, distTag+1, d.Decomp.Scatter(global, rc).InteriorSlice())
+		}
+		local.SetInterior(d.Decomp.Scatter(global, d.coord).InteriorSlice())
+		return
+	}
+	buf := make([]float64, local.Points())
+	d.Cart.Recv(0, distTag+1, buf)
+	local.SetInterior(buf)
+}
+
+// GatherGlobal assembles the global grid on rank 0 (nil elsewhere) —
+// the transport differential tests and external drivers use to compare
+// distributed fields against serial ones.
+func (d *Dist) GatherGlobal(local *grid.Grid) *grid.Grid { return d.gather0(local) }
+
+// bcastGrid replicates rank 0's grid interior to every rank. ranks
+// other than 0 pass a freshly allocated grid of the global extents.
+func (d *Dist) bcastGrid(g *grid.Grid) {
+	buf := g.InteriorSlice()
+	d.Cart.Bcast(0, buf)
+	g.SetInterior(buf)
+}
+
+// --- per-approach wave-function processing -------------------------
+
+// forEachExchanged runs the configured exchange protocol over the
+// states and invokes f once per state after its halos are installed.
+// Hybrid multiple divides states among pool workers, each communicating
+// for its own share; every other approach communicates on the caller.
+// f receives the pool to split a single state's compute across (nil
+// except for hybrid master-only, whose defining property is the
+// per-grid fork-join).
+func (d *Dist) forEachExchanged(states []*grid.Grid, f func(gi int, p *stencil.Pool)) {
+	switch d.Approach {
+	case core.HybridMultiple:
+		d.eng.RunBatchesHybridMultiple(states, func(b core.Batch) {
+			for gi := b.Lo; gi < b.Hi; gi++ {
+				f(gi, nil)
+			}
+		})
+	case core.HybridMasterOnly:
+		d.eng.RunBatches(states, func(b core.Batch) {
+			for gi := b.Lo; gi < b.Hi; gi++ {
+				f(gi, d.pool)
+			}
+		})
+	default:
+		d.eng.RunBatches(states, func(b core.Batch) {
+			for gi := b.Lo; gi < b.Hi; gi++ {
+				f(gi, nil)
+			}
+		})
+	}
+}
+
+// --- distributed Poisson solvers -----------------------------------
+
+// DistPoisson solves ∇²φ = rhs on local sub-domains, mirroring Poisson
+// step for step so every iterate is bit-identical to the serial solver.
+type DistPoisson struct {
+	D       *Dist
+	Op      *stencil.Operator
+	Tol     float64
+	MaxIter int
+}
+
+// NewDistPoisson builds the distributed solver with the paper's
+// radius-2 Laplacian and the serial solver's defaults.
+func NewDistPoisson(d *Dist, h float64) *DistPoisson {
+	return &DistPoisson{D: d, Op: stencil.Laplacian(2, h), Tol: 1e-8, MaxIter: 10000}
+}
+
+// residual computes r = rhs - ∇²phi (exchange + one fused sweep) and
+// returns the global residual norm.
+func (ps *DistPoisson) residual(r, phi, rhs *grid.Grid) float64 {
+	ps.D.Exchange(phi)
+	var acc detsum.Acc
+	ps.Op.ApplyResidualAcc(ps.D.pool, r, rhs, phi, &acc)
+	return math.Sqrt(ps.D.reduceAcc(&acc))
+}
+
+// SolveJacobi mirrors Poisson.SolveJacobi across ranks.
+func (ps *DistPoisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
+	d := ps.D
+	omega := 0.7
+	diag := ps.Op.Center
+	if diag == 0 {
+		return 0, 0, fmt.Errorf("gpaw: singular stencil diagonal")
+	}
+	b := rhs.Clone()
+	if d.BC == Periodic {
+		d.removeMeanDist(b)
+	}
+	r := grid.NewDims(phi.Dims(), phi.H)
+	norm0 := d.Norm2(b)
+	if norm0 == 0 {
+		phi.Fill(0)
+		return 0, 0, nil
+	}
+	for it := 1; it <= ps.MaxIter; it++ {
+		res := ps.residual(r, phi, b)
+		if d.BC == Periodic {
+			d.removeMeanDist(phi)
+		}
+		if res/norm0 < ps.Tol {
+			return it, res / norm0, nil
+		}
+		d.pool.Axpy(phi, omega/diag, r)
+	}
+	res := ps.residual(r, phi, b)
+	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: Jacobi did not converge (residual %g)", res/norm0)
+}
+
+// SolveCG mirrors the fused conjugate-gradient solver across ranks:
+// exchange + fused apply-with-dot, distributed exact reductions, local
+// axpys. Every alpha/beta and every iterate equals the serial run's.
+func (ps *DistPoisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
+	d := ps.D
+	neg := ps.Op.Scaled(-1)
+	b := rhs.Clone()
+	d.pool.Scale(b, -1)
+	if d.BC == Periodic {
+		d.removeMeanDist(b)
+	}
+	norm0 := d.Norm2(b)
+	if norm0 == 0 {
+		phi.Fill(0)
+		return 0, 0, nil
+	}
+	r := grid.NewDims(phi.Dims(), phi.H)
+	ap := grid.NewDims(phi.Dims(), phi.H)
+	d.Exchange(phi)
+	var acc detsum.Acc
+	neg.ApplyResidualAcc(d.pool, r, b, phi, &acc)
+	if d.BC == Periodic {
+		d.removeMeanDist(r)
+	}
+	p := r.Clone()
+	rsold := d.Dot(r, r)
+	for it := 1; it <= ps.MaxIter; it++ {
+		d.Exchange(p)
+		acc.Reset()
+		neg.ApplyDotAcc(d.pool, ap, p, &acc)
+		pap := d.reduceAcc(&acc)
+		alpha := rsold / pap
+		d.pool.Axpy(phi, alpha, p)
+		rs := d.AxpyDot(r, -alpha, ap)
+		if d.BC == Periodic {
+			d.removeMeanDist(r)
+			rs = d.Dot(r, r)
+		}
+		if math.Sqrt(rs)/norm0 < ps.Tol {
+			if d.BC == Periodic {
+				d.removeMeanDist(phi)
+			}
+			return it, math.Sqrt(rs) / norm0, nil
+		}
+		d.pool.AxpyScale(p, 1, r, rs/rsold)
+		rsold = rs
+	}
+	return ps.MaxIter, math.Sqrt(rsold) / norm0, fmt.Errorf("gpaw: CG did not converge")
+}
+
+// SolveSOR mirrors Poisson.SolveSOR. The lexicographic Gauss–Seidel
+// sweep's fixed global traversal order is inherently serial, so the
+// sweep itself is serialized: phi is gathered to rank 0, swept with the
+// very same SORSweep kernel, and scattered back — while the residual
+// check, mean removal and norms stay distributed. This is the
+// "serialize" arm of the redistribute-or-serialize policy; it keeps
+// bit-identity at the cost of scalability, which the pipelined
+// wavefront variant (future work, see ROADMAP) would recover.
+func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, error) {
+	d := ps.D
+	if omega <= 0 || omega >= 2 {
+		return 0, 0, fmt.Errorf("gpaw: SOR omega %g outside (0, 2)", omega)
+	}
+	if ps.Op.Center == 0 {
+		return 0, 0, fmt.Errorf("gpaw: singular stencil diagonal")
+	}
+	b := rhs.Clone()
+	if d.BC == Periodic {
+		d.removeMeanDist(b)
+	}
+	norm0 := d.Norm2(b)
+	if norm0 == 0 {
+		phi.Fill(0)
+		return 0, 0, nil
+	}
+	bGlobal := d.gather0(b)
+	r := grid.NewDims(phi.Dims(), phi.H)
+	for it := 1; it <= ps.MaxIter; it++ {
+		phiGlobal := d.gather0(phi)
+		if d.Cart.Rank() == 0 {
+			fillHalos(phiGlobal, d.BC)
+			ps.Op.SORSweep(phiGlobal, bGlobal, omega)
+		}
+		d.scatter0(phiGlobal, phi)
+		if d.BC == Periodic {
+			d.removeMeanDist(phi)
+		}
+		res := ps.residual(r, phi, b)
+		if res/norm0 < ps.Tol {
+			return it, res / norm0, nil
+		}
+	}
+	res := ps.residual(r, phi, b)
+	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: SOR did not converge (residual %g)", res/norm0)
+}
+
+// HartreePotential mirrors Poisson.HartreePotential on local grids.
+func (ps *DistPoisson) HartreePotential(n *grid.Grid) (*grid.Grid, error) {
+	rhs := n.Clone()
+	ps.D.pool.Scale(rhs, -4*math.Pi)
+	v := grid.NewDims(n.Dims(), n.H)
+	if _, _, err := ps.SolveCG(v, rhs); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// --- distributed multigrid -----------------------------------------
+
+// distMGLevel is one level of the distributed hierarchy. Levels up to
+// serialFrom-1 are distributed (local grids + per-level exchange
+// engine); deeper levels run serialized on rank 0.
+type distMGLevel struct {
+	op   *stencil.Operator
+	h    float64
+	dims topology.Dims // global extents of this level
+
+	dec           *grid.Decomp
+	eng           *core.Engine
+	phi, rhs, res *grid.Grid // local scratch (distributed levels only)
+}
+
+// DistMultigrid is the rank-parallel geometric V-cycle. Coarsening
+// halves every extent; when a level's sub-domains would become thinner
+// than the halo (grid.NewDecompOrFallback reports a fallback) or the
+// fine/coarse splits stop aligning for local transfer, the hierarchy
+// redistributes that level and everything below it onto rank 0 and
+// continues with the serial Multigrid machinery — the
+// redistribute-or-serialize policy. All-level arithmetic matches the
+// serial solver bitwise.
+type DistMultigrid struct {
+	D          *Dist
+	Tol        float64
+	MaxCycles  int
+	PreSmooth  int
+	PostSmooth int
+
+	levels     []*distMGLevel
+	serialFrom int        // first serialized level; len(levels) when fully distributed
+	tail       *Multigrid // rank-0 serial mirror for levels >= serialFrom
+}
+
+// splitsAligned reports whether every rank's fine split is exactly
+// twice its coarse split in every dimension — the condition for
+// restriction/prolongation to stay rank-local.
+func splitsAligned(fine, coarse, procs topology.Dims) bool {
+	for dim := 0; dim < 3; dim++ {
+		for r := 0; r < procs[dim]; r++ {
+			fs, fl := topology.Split(fine[dim], procs[dim], r)
+			cs, cl := topology.Split(coarse[dim], procs[dim], r)
+			if fs != 2*cs || fl != 2*cl {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NewDistMultigrid builds the distributed hierarchy for the Dist's
+// global grid at spacing h, mirroring NewMultigrid's level structure.
+func NewDistMultigrid(d *Dist, h float64) (*DistMultigrid, error) {
+	mg := &DistMultigrid{D: d, Tol: 1e-8, MaxCycles: 60, PreSmooth: 3, PostSmooth: 3}
+	dims := d.Decomp.Global
+	spacing := h
+	// Mirror NewMultigrid's level loop exactly so both hierarchies have
+	// identical (dims, spacing) sequences.
+	for {
+		mg.levels = append(mg.levels, &distMGLevel{op: stencil.Laplacian(2, spacing), h: spacing, dims: dims})
+		if dims[0]%2 != 0 || dims[1]%2 != 0 || dims[2]%2 != 0 ||
+			dims[0] <= 4 || dims[1] <= 4 || dims[2] <= 4 {
+			break
+		}
+		dims = topology.Dims{dims[0] / 2, dims[1] / 2, dims[2] / 2}
+		spacing *= 2
+	}
+	if len(mg.levels) < 2 {
+		return nil, fmt.Errorf("gpaw: grid %v too small or odd for multigrid", d.Decomp.Global)
+	}
+	// Decide how deep the distribution reaches.
+	procs := d.Decomp.Procs
+	halo := d.Decomp.Halo
+	periodic := d.BC == Periodic
+	mg.serialFrom = len(mg.levels)
+	for l, lv := range mg.levels {
+		if l > 0 {
+			dec, used, fell, err := grid.NewDecompOrFallback(lv.dims, procs, halo)
+			if err != nil || fell || used != procs ||
+				!splitsAligned(mg.levels[l-1].dims, lv.dims, procs) {
+				mg.serialFrom = l
+				break
+			}
+			lv.dec = dec
+		} else {
+			lv.dec = d.Decomp
+		}
+		eng, err := core.NewEngine(d.Cart, lv.dec, lv.op, periodic,
+			core.Options{Exchange: core.ExchangeAsync, BatchSize: 1, Threads: 1})
+		if err != nil {
+			return nil, err
+		}
+		lv.eng = eng
+		c := lv.dec.LocalDims(d.coord)
+		lv.phi = grid.NewDims(c, halo)
+		lv.rhs = grid.NewDims(c, halo)
+		lv.res = grid.NewDims(c, halo)
+	}
+	if mg.serialFrom == 0 {
+		return nil, fmt.Errorf("gpaw: top multigrid level not decomposable over %v", procs)
+	}
+	if mg.serialFrom < len(mg.levels) && d.Cart.Rank() == 0 {
+		tail, err := NewMultigrid(d.Decomp.Global, h, d.BC)
+		if err != nil {
+			return nil, err
+		}
+		mg.tail = tail
+	}
+	return mg, nil
+}
+
+// Levels returns the depth of the hierarchy.
+func (mg *DistMultigrid) Levels() int { return len(mg.levels) }
+
+// SerializedFrom returns the first level index that runs serialized on
+// rank 0 (== Levels() when the whole hierarchy is distributed).
+func (mg *DistMultigrid) SerializedFrom() int { return mg.serialFrom }
+
+// smooth runs n damped Jacobi sweeps on a distributed level, ping-pong
+// through lv.res exactly like the serial smoother.
+func (mg *DistMultigrid) smooth(lv *distMGLevel, phi, rhs *grid.Grid, n int) {
+	const omega = 0.8
+	c := omega / lv.op.Center
+	src, dst := phi, lv.res
+	for s := 0; s < n; s++ {
+		lv.eng.Exchange([]*grid.Grid{src})
+		lv.op.ApplySmooth(mg.D.pool, dst, src, rhs, c)
+		src, dst = dst, src
+	}
+	if src != phi {
+		mg.D.pool.Copy(phi, src)
+	}
+}
+
+// residualInto computes res = rhs - A phi on a distributed level and
+// accumulates |res|^2 locally into acc (callers reduce when they need
+// the global norm, matching the serial solver which discards it inside
+// the V-cycle).
+func (mg *DistMultigrid) residualInto(lv *distMGLevel, res, phi, rhs *grid.Grid, acc *detsum.Acc) {
+	lv.eng.Exchange([]*grid.Grid{phi})
+	lv.op.ApplyResidualAcc(mg.D.pool, res, rhs, phi, acc)
+}
+
+// prolongFromGlobal adds the piecewise-constant interpolation of a
+// replicated global coarse grid onto the local fine grid — the same
+// additions the serial prolongInto performs at these global indices.
+func prolongFromGlobal(coarse, fine *grid.Grid, off topology.Coord) {
+	d := fine.Dims()
+	fd := fine.Data()
+	for i := 0; i < d[0]; i++ {
+		for j := 0; j < d[1]; j++ {
+			frow := fine.Index(i, j, 0)
+			crow := coarse.Index((off[0]+i)/2, (off[1]+j)/2, 0)
+			for k := 0; k < d[2]; k++ {
+				fd[frow+k] += coarse.Data()[crow+(off[2]+k)/2]
+			}
+		}
+	}
+	grid.NoteTraffic(2*fine.Points(), 1)
+}
+
+// vcycle performs one distributed V-cycle from level l.
+func (mg *DistMultigrid) vcycle(l int, phi, rhs *grid.Grid) {
+	d := mg.D
+	lv := mg.levels[l]
+	if l == len(mg.levels)-1 {
+		mg.smooth(lv, phi, rhs, 60) // coarsest: relax hard
+		return
+	}
+	mg.smooth(lv, phi, rhs, mg.PreSmooth)
+	var discard detsum.Acc
+	mg.residualInto(lv, lv.res, phi, rhs, &discard)
+	next := mg.levels[l+1]
+	if l+1 == mg.serialFrom {
+		// Redistribute-or-serialize: levels below run on rank 0's serial
+		// mirror; the coarse correction is broadcast back and prolonged
+		// locally.
+		resGlobal := d.gatherDec(lv.dec, lv.res)
+		coarse := grid.NewDims(next.dims, d.Decomp.Halo)
+		if d.Cart.Rank() == 0 {
+			sl := mg.tail.levels[l+1]
+			restrictFull(mg.tail.Pool, resGlobal, sl.rhs)
+			sl.phi.Zero()
+			mg.tail.vcycle(l+1, sl.phi, sl.rhs)
+			coarse = sl.phi
+		}
+		d.bcastGrid(coarse)
+		prolongFromGlobal(coarse, phi, lv.dec.Offset(d.coord))
+	} else {
+		restrictFull(d.pool, lv.res, next.rhs)
+		next.phi.Zero()
+		mg.vcycle(l+1, next.phi, next.rhs)
+		prolongInto(d.pool, next.phi, phi)
+	}
+	mg.smooth(lv, phi, rhs, mg.PostSmooth)
+}
+
+// Solve mirrors Multigrid.Solve across ranks.
+func (mg *DistMultigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
+	d := mg.D
+	top := mg.levels[0]
+	b := rhs.Clone()
+	if d.BC == Periodic {
+		d.removeMeanDist(b)
+	}
+	norm0 := d.Norm2(b)
+	if norm0 == 0 {
+		phi.Fill(0)
+		return 0, 0, nil
+	}
+	relNorm := func() float64 {
+		var acc detsum.Acc
+		mg.residualInto(top, top.res, phi, b, &acc)
+		return math.Sqrt(d.reduceAcc(&acc)) / norm0
+	}
+	for cyc := 1; cyc <= mg.MaxCycles; cyc++ {
+		mg.vcycle(0, phi, b)
+		if d.BC == Periodic {
+			d.removeMeanDist(phi)
+		}
+		if rel := relNorm(); rel < mg.Tol {
+			return cyc, rel, nil
+		}
+	}
+	rel := relNorm()
+	return mg.MaxCycles, rel, fmt.Errorf("gpaw: multigrid did not converge (residual %g)", rel)
+}
+
+// --- distributed Hamiltonian / eigensolver -------------------------
+
+// DistHamiltonian is the Kohn–Sham Hamiltonian on local sub-domains.
+type DistHamiltonian struct {
+	D *Dist
+	T *stencil.Operator
+	V *grid.Grid // local effective potential (may be nil)
+}
+
+// NewDistHamiltonian builds H with the paper's radius-2 kinetic stencil.
+func NewDistHamiltonian(d *Dist, h float64, v *grid.Grid) *DistHamiltonian {
+	return &DistHamiltonian{D: d, T: Kinetic(2, h), V: v}
+}
+
+// applyStates computes dsts[i] = beta*psis[i] + alpha*(H psis[i]) for
+// every state, with halo exchange and compute structured by the Dist's
+// approach (batched exchange, overlap, per-thread communication or
+// per-grid fork-join).
+func (h *DistHamiltonian) applyStates(dsts, psis []*grid.Grid, alpha, beta float64) {
+	h.D.forEachExchanged(psis, func(gi int, p *stencil.Pool) {
+		h.T.ApplyStep(p, dsts[gi], psis[gi], h.V, alpha, beta)
+	})
+}
+
+// SpectralBound mirrors Hamiltonian.SpectralBound: the kinetic bound
+// plus the exact global potential maximum (max is associative, so the
+// rank-folded maximum equals the serial one bitwise).
+func (h *DistHamiltonian) SpectralBound() float64 {
+	bound := kineticBound(h.T)
+	if h.V != nil {
+		in := [1]float64{maxPotential(h.V)}
+		var out [1]float64
+		h.D.Cart.Allreduce(mpi.OpMax, in[:], out[:])
+		bound += out[0]
+	}
+	return bound
+}
+
+// symMatrixDist fills the symmetric matrix of globally reduced
+// accumulator entries: f accumulates the local partial of entry (i, j)
+// for j >= i, the entries are reduced in a single exact Allreduce, and
+// the rounded global values land symmetrically in out — bit-identical
+// to the serial symMatrix entries.
+func (d *Dist) symMatrixDist(m int, out linalg.Matrix, f func(i, j int, acc *detsum.Acc)) {
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, m*(m+1)/2)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	accs := make([]detsum.Acc, len(pairs))
+	d.pool.Exec(len(pairs), func(_, lo, hi int) {
+		for n := lo; n < hi; n++ {
+			f(pairs[n].i, pairs[n].j, &accs[n])
+		}
+	})
+	ptrs := make([]*detsum.Acc, len(accs))
+	for i := range accs {
+		ptrs[i] = &accs[i]
+	}
+	vals := d.reduceAccs(ptrs)
+	for n, pr := range pairs {
+		out[pr.i][pr.j], out[pr.j][pr.i] = vals[n], vals[n]
+	}
+}
+
+// orthonormalize mirrors OrthonormalizeWith on distributed states: the
+// overlap matrix is assembled from exact global dots, and the identical
+// Cholesky rotation is applied to every rank's sub-domain.
+func (d *Dist) orthonormalize(psis []*grid.Grid) error {
+	m := len(psis)
+	s := linalg.NewMatrix(m, m)
+	d.symMatrixDist(m, s, func(i, j int, acc *detsum.Acc) {
+		psis[i].DotAccRange(psis[j], 0, psis[i].Nx, acc)
+	})
+	l, err := linalg.Cholesky(s)
+	if err != nil {
+		return fmt.Errorf("gpaw: overlap not positive definite (linearly dependent states): %w", err)
+	}
+	linv := linalg.InvertLower(l)
+	rotate(d.pool, psis, linalg.Transpose(linv))
+	return nil
+}
+
+// rayleighRitz mirrors RayleighRitz: H applications through the
+// approach-structured exchange, subspace matrix from exact global dots,
+// identical diagonalization and local rotation on every rank.
+func (h *DistHamiltonian) rayleighRitz(psis []*grid.Grid) []float64 {
+	m := len(psis)
+	hp := make([]*grid.Grid, m)
+	for i := range psis {
+		hp[i] = grid.NewDims(psis[i].Dims(), psis[i].H)
+	}
+	h.applyStates(hp, psis, 1, 0)
+	hm := linalg.NewMatrix(m, m)
+	h.D.symMatrixDist(m, hm, func(i, j int, acc *detsum.Acc) {
+		psis[i].DotAccRange(hp[j], 0, psis[i].Nx, acc)
+	})
+	eig, vecs := linalg.SymEig(hm)
+	rotate(h.D.pool, psis, vecs)
+	return eig
+}
+
+// DistEigenSolver mirrors EigenSolver across ranks.
+type DistEigenSolver struct {
+	H       *DistHamiltonian
+	Tol     float64
+	MaxIter int
+}
+
+// NewDistEigenSolver returns a solver with the serial defaults.
+func NewDistEigenSolver(h *DistHamiltonian) *DistEigenSolver {
+	return &DistEigenSolver{H: h, Tol: 1e-8, MaxIter: 2000}
+}
+
+// Solve iterates the local shares of psis toward the lowest eigenstates
+// and returns eigenvalues bit-identical to the serial solver's. As with
+// the serial solver, slice elements may be replaced; read states
+// through the slice afterwards.
+func (es *DistEigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
+	if len(psis) == 0 {
+		return nil, fmt.Errorf("gpaw: no states to solve")
+	}
+	d := es.H.D
+	if err := d.orthonormalize(psis); err != nil {
+		return nil, err
+	}
+	tau := 1.0 / es.H.SpectralBound()
+	outs := make([]*grid.Grid, len(psis))
+	for i := range outs {
+		outs[i] = grid.NewDims(psis[i].Dims(), psis[i].H)
+	}
+	prev := make([]float64, len(psis))
+	for i := range prev {
+		prev[i] = math.Inf(1)
+	}
+	for it := 1; it <= es.MaxIter; it++ {
+		// Damped power step psi <- psi - tau*H*psi for every state, one
+		// fused sweep each behind the approach's exchange protocol.
+		es.H.applyStates(outs, psis, -tau, 1)
+		for i := range psis {
+			psis[i], outs[i] = outs[i], psis[i]
+		}
+		if err := d.orthonormalize(psis); err != nil {
+			return nil, err
+		}
+		eig := es.H.rayleighRitz(psis)
+		maxd := 0.0
+		for i, e := range eig {
+			if dd := math.Abs(e - prev[i]); dd > maxd {
+				maxd = dd
+			}
+			prev[i] = e
+		}
+		if maxd < es.Tol {
+			return eig, nil
+		}
+	}
+	return prev, fmt.Errorf("gpaw: eigensolver did not converge in %d iterations", es.MaxIter)
+}
+
+// --- distributed SCF -----------------------------------------------
+
+// DistSCF runs the self-consistent field loop rank-parallel. Sys
+// describes the global system (Vext is the global external potential,
+// replicated on every rank); the result's grids are this rank's local
+// sub-domains while eigenvalues, energies, iteration counts and
+// residuals are identical on every rank — and bit-identical to the
+// serial SCF.
+type DistSCF struct {
+	D       *Dist
+	Sys     System
+	Mix     float64
+	Tol     float64
+	MaxIter int
+}
+
+// NewDistSCF builds a distributed SCF driver with the serial defaults.
+func NewDistSCF(d *Dist, sys System) *DistSCF {
+	return &DistSCF{D: d, Sys: sys, Mix: 0.3, Tol: 1e-6, MaxIter: 60}
+}
+
+// states returns the number of doubly occupied orbitals.
+func (s *DistSCF) states() int { return (s.Sys.Electrons + 1) / 2 }
+
+// initGuessLocal fills the local shares of the m seed states through
+// the same global-index field as the serial InitGuess.
+func (s *DistSCF) initGuessLocal(m, halo int) []*grid.Grid {
+	d := s.D
+	dims := [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]}
+	psis := make([]*grid.Grid, m)
+	for st := 0; st < m; st++ {
+		g := grid.NewDims(d.local, halo)
+		st := st
+		g.FillFunc(func(i, j, k int) float64 {
+			return guessValue(st, dims, d.off[0]+i, d.off[1]+j, d.off[2]+k)
+		})
+		psis[st] = g
+	}
+	return psis
+}
+
+// buildDensity mirrors SCF.buildDensity: local accumulation in state
+// order, exact global normalization.
+func (s *DistSCF) buildDensity(psis []*grid.Grid) *grid.Grid {
+	n := grid.NewDims(s.D.local, psis[0].H)
+	dV := s.Sys.Spacing * s.Sys.Spacing * s.Sys.Spacing
+	remaining := float64(s.Sys.Electrons)
+	for _, psi := range psis {
+		occ := math.Min(2, remaining)
+		remaining -= occ
+		n.AccumSquared(occ, psi)
+	}
+	total := s.D.Sum(n) * dV
+	if total > 0 {
+		n.Scale(float64(s.Sys.Electrons) / total)
+	}
+	return n
+}
+
+// Run executes the distributed self-consistent loop, mirroring SCF.Run
+// decision for decision (every reduced scalar is identical on every
+// rank, so all ranks take the same branches).
+func (s *DistSCF) Run() (*SCFResult, error) {
+	if s.Sys.Electrons < 1 {
+		return nil, fmt.Errorf("gpaw: %d electrons", s.Sys.Electrons)
+	}
+	if s.Sys.Vext == nil {
+		return nil, fmt.Errorf("gpaw: missing external potential")
+	}
+	if s.Sys.BC != s.D.BC {
+		return nil, fmt.Errorf("gpaw: system boundary %v != distributed context boundary %v", s.Sys.BC, s.D.BC)
+	}
+	if s.Sys.Dims != s.D.Decomp.Global {
+		return nil, fmt.Errorf("gpaw: system dims %v != decomposed global %v", s.Sys.Dims, s.D.Decomp.Global)
+	}
+	d := s.D
+	m := s.states()
+	halo := 2
+	psis := s.initGuessLocal(m, halo)
+	poisson := NewDistPoisson(d, s.Sys.Spacing)
+	poisson.Tol = 1e-8
+	vextLocal := d.ScatterReplicated(s.Sys.Vext)
+
+	veff := vextLocal.Clone()
+	var n *grid.Grid
+	var eig []float64
+	for it := 1; it <= s.MaxIter; it++ {
+		h := NewDistHamiltonian(d, s.Sys.Spacing, veff)
+		es := NewDistEigenSolver(h)
+		es.Tol = 1e-7
+		es.MaxIter = 600
+		var err error
+		eig, err = es.Solve(psis)
+		if err != nil {
+			return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+		}
+		newN := s.buildDensity(psis)
+		var residual float64
+		if n == nil {
+			n = newN
+			residual = math.Inf(1)
+		} else {
+			var acc detsum.Acc
+			mixDensityAcc(n, newN, s.Mix, &acc)
+			residual = math.Sqrt(d.reduceAcc(&acc))
+		}
+		vh, err := poisson.HartreePotential(n)
+		if err != nil {
+			return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
+		}
+		updateVeff(veff, vextLocal, vh, n)
+		if residual < s.Tol {
+			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+				Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
+		}
+		if it == s.MaxIter {
+			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+					Density: n, VHartree: vh, Iterations: it, Residual: residual},
+				fmt.Errorf("gpaw: SCF did not reach %g (residual %g)", s.Tol, residual)
+		}
+	}
+	return nil, fmt.Errorf("gpaw: unreachable")
+}

@@ -1,0 +1,516 @@
+package gpaw
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// The cross-rank differential harness: every distributed solver runs on
+// 1/2/4/8 ranks over (1,1,P), (1,P,1) and (P1,P2,1) process grids, for
+// each of the four programming approaches, and every result — solution
+// fields, iteration counts, residuals, eigenvalues, SCF total energies —
+// must be bit-identical to the serial solver.
+
+// layoutsFor returns the process-grid shapes exercised at p ranks.
+// shapes needing an extent of at least minExtent per decomposed
+// dimension are produced for grids that can host them; small grids use
+// the mixed (P1,P2,1)-style shapes only.
+func layoutsFor(p int) []topology.Dims {
+	switch p {
+	case 1:
+		return []topology.Dims{{1, 1, 1}}
+	case 2:
+		return []topology.Dims{{1, 1, 2}, {1, 2, 1}, {2, 1, 1}}
+	case 4:
+		return []topology.Dims{{1, 1, 4}, {1, 4, 1}, {2, 2, 1}}
+	case 8:
+		return []topology.Dims{{1, 1, 8}, {1, 8, 1}, {2, 4, 1}, {4, 2, 1}}
+	}
+	return nil
+}
+
+// feasible reports whether every decomposed dimension keeps sub-domains
+// at least halo thick.
+func feasible(global, procs topology.Dims, halo int) bool {
+	_, err := grid.NewDecomp(global, procs, halo)
+	return err == nil
+}
+
+// modeFor returns the MPI thread mode an approach requires.
+func modeFor(a core.Approach) mpi.ThreadMode {
+	if a == core.HybridMultiple {
+		return mpi.ThreadMultiple
+	}
+	return mpi.ThreadSingle
+}
+
+// threadsFor returns the per-rank worker count used in the harness.
+func threadsFor(a core.Approach) int {
+	if a.Hybrid() {
+		return 2
+	}
+	return 1
+}
+
+// runDist spins up an MPI world and builds the per-rank Dist context.
+func runDist(t *testing.T, global, procs topology.Dims, bc Boundary, a core.Approach, body func(d *Dist)) {
+	t.Helper()
+	err := mpi.Run(procs.Count(), modeFor(a), func(c *mpi.Comm) {
+		d, err := NewDist(c, DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: bc,
+			Approach: a, Threads: threadsFor(a), Batch: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		body(d)
+	})
+	if err != nil {
+		t.Fatalf("procs %v approach %v: %v", procs, a, err)
+	}
+}
+
+// checkIdentical fails unless the gathered distributed field matches
+// the serial one bitwise (rank 0 only holds the gathered field).
+func checkIdentical(t *testing.T, d *Dist, local, want *grid.Grid, what string, procs topology.Dims, a core.Approach) {
+	t.Helper()
+	g := d.GatherGlobal(local)
+	if d.Cart.Rank() != 0 {
+		return
+	}
+	if diff := g.MaxAbsDiff(want); diff != 0 {
+		t.Errorf("%s: procs %v approach %v deviates from serial by %g", what, procs, a, diff)
+	}
+}
+
+// poissonRHS is the differential problems' deterministic right-hand side.
+func poissonRHS(global topology.Dims) *grid.Grid {
+	rhs := grid.NewDims(global, 2)
+	n0, n1 := float64(global[0]), float64(global[1])
+	rhs.FillFunc(func(i, j, k int) float64 {
+		return math.Sin(2*math.Pi*float64(i)/n0)*math.Cos(2*math.Pi*float64(j)/n1) +
+			0.25*math.Cos(2*math.Pi*float64(k)/float64(global[2]))
+	})
+	return rhs
+}
+
+// rankCounts returns the rank counts the harness sweeps; the CI smoke
+// matrix narrows it through DIST_RANKS.
+func rankCounts(t *testing.T) []int {
+	if v := os.Getenv("DIST_RANKS"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 1 {
+			t.Fatalf("bad DIST_RANKS %q", v)
+		}
+		return []int{p}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// TestDistPoissonCGDifferential sweeps the full rank-count x layout x
+// approach matrix for the CG solver under both boundary conditions.
+func TestDistPoissonCGDifferential(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	h := 0.35
+	rhs := poissonRHS(global)
+	for _, bc := range []Boundary{Dirichlet, Periodic} {
+		ps := NewPoisson(h, bc)
+		wantPhi := grid.NewDims(global, 2)
+		wantIt, wantRes, err := ps.SolveCG(wantPhi, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rankCounts(t) {
+			for _, procs := range layoutsFor(p) {
+				if !feasible(global, procs, 2) {
+					continue
+				}
+				for _, a := range core.Approaches {
+					runDist(t, global, procs, bc, a, func(d *Dist) {
+						dps := NewDistPoisson(d, h)
+						phi := d.NewLocalGrid()
+						it, res, err := dps.SolveCG(phi, d.ScatterReplicated(rhs))
+						if err != nil {
+							panic(err)
+						}
+						if it != wantIt || res != wantRes {
+							t.Errorf("%v CG procs %v approach %v: (it,res)=(%d,%.17g), serial (%d,%.17g)",
+								bc, procs, a, it, res, wantIt, wantRes)
+						}
+						checkIdentical(t, d, phi, wantPhi, "CG "+bc.String(), procs, a)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDistPoissonJacobiDifferential covers the Jacobi solver on a
+// reduced matrix (it converges slowly; CG covers the full sweep).
+func TestDistPoissonJacobiDifferential(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	h := 0.4
+	rhs := poissonRHS(global)
+	ps := NewPoisson(h, Periodic)
+	ps.Tol = 1e-4
+	wantPhi := grid.NewDims(global, 2)
+	wantIt, wantRes, err := ps.SolveJacobi(wantPhi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rankCounts(t) {
+		for _, procs := range layoutsFor(p)[:1] {
+			for _, a := range []core.Approach{core.FlatOriginal, core.HybridMultiple} {
+				runDist(t, global, procs, Periodic, a, func(d *Dist) {
+					dps := NewDistPoisson(d, h)
+					dps.Tol = 1e-4
+					phi := d.NewLocalGrid()
+					it, res, err := dps.SolveJacobi(phi, d.ScatterReplicated(rhs))
+					if err != nil {
+						panic(err)
+					}
+					if it != wantIt || res != wantRes {
+						t.Errorf("Jacobi procs %v approach %v: (it,res)=(%d,%g), serial (%d,%g)",
+							procs, a, it, res, wantIt, wantRes)
+					}
+					checkIdentical(t, d, phi, wantPhi, "Jacobi", procs, a)
+				})
+			}
+		}
+	}
+}
+
+// TestDistPoissonSORDifferential: the serialized-sweep SOR keeps the
+// exact lexicographic traversal, so iterates match bitwise.
+func TestDistPoissonSORDifferential(t *testing.T) {
+	global := topology.Dims{12, 12, 12}
+	h := 0.4
+	rhs := poissonRHS(global)
+	ps := NewPoisson(h, Dirichlet)
+	ps.Tol = 1e-6
+	wantPhi := grid.NewDims(global, 2)
+	wantIt, wantRes, err := ps.SolveSOR(wantPhi, rhs, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []topology.Dims{{1, 1, 2}, {2, 2, 1}, {1, 4, 1}} {
+		runDist(t, global, procs, Dirichlet, core.FlatOptimized, func(d *Dist) {
+			dps := NewDistPoisson(d, h)
+			dps.Tol = 1e-6
+			phi := d.NewLocalGrid()
+			it, res, err := dps.SolveSOR(phi, d.ScatterReplicated(rhs), 1.6)
+			if err != nil {
+				panic(err)
+			}
+			if it != wantIt || res != wantRes {
+				t.Errorf("SOR procs %v: (it,res)=(%d,%g), serial (%d,%g)", procs, it, res, wantIt, wantRes)
+			}
+			checkIdentical(t, d, phi, wantPhi, "SOR", procs, core.FlatOptimized)
+		})
+	}
+}
+
+// TestDistMultigridDifferential: the V-cycle hierarchy — including the
+// redistribute-or-serialize fallback on coarse levels — must reproduce
+// the serial multigrid bitwise.
+func TestDistMultigridDifferential(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	h := 0.35
+	rhs := poissonRHS(global)
+	for _, bc := range []Boundary{Dirichlet, Periodic} {
+		mgS, err := NewMultigrid(global, h, bc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPhi := grid.NewDims(global, 2)
+		wantCyc, wantRes, err := mgS.Solve(wantPhi, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// (4,1,1): levels 16->8 stay distributed and aligned, 4^3 falls
+		// back and serializes. (1,1,8): serializes from the first
+		// coarsening. (2,2,1): fully distributed until the 4^3 level.
+		for _, procs := range []topology.Dims{{1, 1, 1}, {2, 1, 1}, {1, 1, 2}, {2, 2, 1}, {4, 1, 1}, {1, 1, 8}} {
+			for _, a := range []core.Approach{core.FlatOptimized, core.HybridMasterOnly} {
+				runDist(t, global, procs, bc, a, func(d *Dist) {
+					mg, err := NewDistMultigrid(d, h)
+					if err != nil {
+						panic(err)
+					}
+					phi := d.NewLocalGrid()
+					cyc, res, err := mg.Solve(phi, d.ScatterReplicated(rhs))
+					if err != nil {
+						panic(err)
+					}
+					if cyc != wantCyc || res != wantRes {
+						t.Errorf("%v MG procs %v approach %v: (cyc,res)=(%d,%.17g), serial (%d,%.17g)",
+							bc, procs, a, cyc, res, wantCyc, wantRes)
+					}
+					checkIdentical(t, d, phi, wantPhi, "multigrid "+bc.String(), procs, a)
+				})
+			}
+		}
+	}
+}
+
+// TestDistMultigridSerializesDeepLevels pins the fallback decision
+// itself: over (4,1,1) the 16^3 hierarchy must serialize exactly at the
+// 4^3 level, and over (1,1,8) at the first coarsening.
+func TestDistMultigridSerializesDeepLevels(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	cases := []struct {
+		procs topology.Dims
+		from  int
+	}{
+		{topology.Dims{1, 1, 1}, 3}, // fully distributed (trivially)
+		{topology.Dims{4, 1, 1}, 2}, // 16,8 distributed; 4^3 -> local extent 1 < halo
+		{topology.Dims{1, 1, 8}, 1}, // 8 in z: the 8^3 level already infeasible
+	}
+	for _, tc := range cases {
+		runDist(t, global, tc.procs, Dirichlet, core.FlatOptimized, func(d *Dist) {
+			mg, err := NewDistMultigrid(d, 0.35)
+			if err != nil {
+				panic(err)
+			}
+			if mg.Levels() != 3 {
+				t.Errorf("procs %v: %d levels, want 3", tc.procs, mg.Levels())
+			}
+			if mg.SerializedFrom() != tc.from {
+				t.Errorf("procs %v: serialized from level %d, want %d", tc.procs, mg.SerializedFrom(), tc.from)
+			}
+		})
+	}
+}
+
+// scfSystem is the differential harness's model system: a harmonic trap
+// on a grid small enough that the full matrix stays fast but large
+// enough for 8-rank mixed layouts.
+func scfSystem(global topology.Dims, h float64) System {
+	return System{
+		Dims:      global,
+		Spacing:   h,
+		BC:        Dirichlet,
+		Vext:      HarmonicPotential(global, h, 1),
+		Electrons: 2,
+	}
+}
+
+// scfLayoutsFor adapts the layout matrix to the 8^3 SCF grid: 8-rank
+// single-dimension shapes would slice below the halo, so rank count 8
+// uses the mixed shapes.
+func scfLayoutsFor(p int) []topology.Dims {
+	if p == 8 {
+		return []topology.Dims{{2, 4, 1}, {4, 2, 1}, {2, 2, 2}}
+	}
+	return layoutsFor(p)
+}
+
+// TestDistSCFDifferential is the acceptance harness: all four
+// approaches on every rank count produce SCF total energies,
+// eigenvalues, iteration counts and density fields bit-identical to the
+// serial SCF loop.
+func TestDistSCFDifferential(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := scfSystem(global, h)
+	scf := NewSCF(sys)
+	scf.Tol = 1e-4
+	want, err := scf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rankCounts(t) {
+		for li, procs := range scfLayoutsFor(p) {
+			if !feasible(global, procs, 2) {
+				continue
+			}
+			approaches := core.Approaches
+			if testing.Short() && li > 0 {
+				// Short mode: full approach coverage on the first layout
+				// of each rank count only.
+				approaches = approaches[:1]
+			}
+			for _, a := range approaches {
+				runDist(t, global, procs, sys.BC, a, func(d *Dist) {
+					ds := NewDistSCF(d, sys)
+					ds.Tol = 1e-4
+					res, err := ds.Run()
+					if err != nil {
+						panic(err)
+					}
+					if res.TotalEnergy != want.TotalEnergy {
+						t.Errorf("SCF procs %v approach %v: total energy %.17g, serial %.17g",
+							procs, a, res.TotalEnergy, want.TotalEnergy)
+					}
+					if res.Iterations != want.Iterations || res.Residual != want.Residual {
+						t.Errorf("SCF procs %v approach %v: (it,res)=(%d,%.17g), serial (%d,%.17g)",
+							procs, a, res.Iterations, res.Residual, want.Iterations, want.Residual)
+					}
+					for i := range res.Eigenvalues {
+						if res.Eigenvalues[i] != want.Eigenvalues[i] {
+							t.Errorf("SCF procs %v approach %v: eigenvalue %d = %.17g, serial %.17g",
+								procs, a, i, res.Eigenvalues[i], want.Eigenvalues[i])
+						}
+					}
+					checkIdentical(t, d, res.Density, want.Density, "SCF density", procs, a)
+					checkIdentical(t, d, res.VHartree, want.VHartree, "SCF vH", procs, a)
+				})
+			}
+		}
+	}
+}
+
+// TestDistEigenDifferential covers the eigensolver directly (more
+// states than the SCF run uses) across approaches.
+func TestDistEigenDifferential(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	h := 0.5
+	vext := HarmonicPotential(global, h, 1)
+	ham := NewHamiltonian(h, vext, Dirichlet)
+	es := NewEigenSolver(ham)
+	es.Tol = 1e-7
+	es.MaxIter = 500
+	psis := InitGuess(3, [3]int{8, 8, 8}, 2)
+	want, err := es.Solve(psis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rankCounts(t) {
+		for _, procs := range scfLayoutsFor(p)[:1] {
+			for _, a := range core.Approaches {
+				runDist(t, global, procs, Dirichlet, a, func(d *Dist) {
+					vloc := d.ScatterReplicated(vext)
+					dh := NewDistHamiltonian(d, h, vloc)
+					des := NewDistEigenSolver(dh)
+					des.Tol = 1e-7
+					des.MaxIter = 500
+					dpsis := make([]*grid.Grid, 3)
+					dims := [3]int{8, 8, 8}
+					for s := range dpsis {
+						g := d.NewLocalGrid()
+						s := s
+						off := d.Offset()
+						g.FillFunc(func(i, j, k int) float64 {
+							return guessValue(s, dims, off[0]+i, off[1]+j, off[2]+k)
+						})
+						dpsis[s] = g
+					}
+					eig, err := des.Solve(dpsis)
+					if err != nil {
+						panic(err)
+					}
+					for i := range eig {
+						if eig[i] != want[i] {
+							t.Errorf("eigen procs %v approach %v: eig[%d]=%.17g, serial %.17g",
+								procs, a, i, eig[i], want[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDistReductionDeterminism is the deterministic-reduction satellite:
+// distributed DotNorm/Allreduce sums must be independent of message
+// arrival order — ranks are delayed by random amounts before reducing —
+// and must match the serial reduction exactly, repeatedly.
+func TestDistReductionDeterminism(t *testing.T) {
+	global := topology.Dims{12, 10, 8}
+	a := grid.NewDims(global, 2)
+	b := grid.NewDims(global, 2)
+	a.FillFunc(func(i, j, k int) float64 {
+		return math.Sin(float64(i*3+j*7+k)) * math.Pow(10, float64((i+j+k)%37)-18)
+	})
+	b.FillFunc(func(i, j, k int) float64 { return math.Cos(float64(i - j + 2*k)) })
+	wantDot := a.Dot(b)
+	wantSq := a.Dot(a)
+	wantSum := a.Sum()
+	for trial := 0; trial < 4; trial++ {
+		seed := int64(1000 + trial)
+		for _, procs := range []topology.Dims{{1, 2, 1}, {2, 2, 1}, {1, 1, 4}, {2, 4, 1}} {
+			runDist(t, global, procs, Periodic, core.FlatOptimized, func(d *Dist) {
+				// Randomized per-rank delay: the exact rank-ordered merge
+				// must make arrival order irrelevant.
+				rng := rand.New(rand.NewSource(seed + int64(d.Cart.Rank())*7919))
+				time.Sleep(time.Duration(rng.Intn(3000)) * time.Microsecond)
+				la := d.ScatterReplicated(a)
+				lb := d.ScatterReplicated(b)
+				dot, sq := d.DotNorm(la, lb)
+				sum := d.Sum(la)
+				if dot != wantDot || sq != wantSq || sum != wantSum {
+					t.Errorf("procs %v trial %d: (dot,sq,sum)=(%.17g,%.17g,%.17g) != serial (%.17g,%.17g,%.17g)",
+						procs, trial, dot, sq, sum, wantDot, wantSq, wantSum)
+				}
+			})
+		}
+	}
+}
+
+// TestDistSmoke is the CI smoke-matrix entry point: DIST_RANKS narrows
+// the harness to one rank count and runs a quick end-to-end slice
+// (CG + SCF differential for every approach on one layout).
+func TestDistSmoke(t *testing.T) {
+	p := 2
+	if v := os.Getenv("DIST_RANKS"); v != "" {
+		var err error
+		if p, err = strconv.Atoi(v); err != nil {
+			t.Fatalf("bad DIST_RANKS %q", v)
+		}
+	}
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	rhs := poissonRHS(global)
+	ps := NewPoisson(0.35, Dirichlet)
+	wantPhi := grid.NewDims(global, 2)
+	wantIt, _, err := ps.SolveCG(wantPhi, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := scfSystem(global, h)
+	scf := NewSCF(sys)
+	scf.Tol = 1e-4
+	want, err := scf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := scfLayoutsFor(p)[0]
+	if !feasible(global, procs, 2) {
+		t.Fatalf("smoke layout %v infeasible", procs)
+	}
+	for _, a := range core.Approaches {
+		runDist(t, global, procs, Dirichlet, a, func(d *Dist) {
+			dps := NewDistPoisson(d, 0.35)
+			phi := d.NewLocalGrid()
+			it, _, err := dps.SolveCG(phi, d.ScatterReplicated(rhs))
+			if err != nil {
+				panic(err)
+			}
+			if it != wantIt {
+				t.Errorf("smoke CG procs %v approach %v: %d iters, serial %d", procs, a, it, wantIt)
+			}
+			checkIdentical(t, d, phi, wantPhi, "smoke CG", procs, a)
+
+			ds := NewDistSCF(d, sys)
+			ds.Tol = 1e-4
+			res, err := ds.Run()
+			if err != nil {
+				panic(err)
+			}
+			if res.TotalEnergy != want.TotalEnergy {
+				t.Errorf("smoke SCF procs %v approach %v: energy %.17g, serial %.17g",
+					procs, a, res.TotalEnergy, want.TotalEnergy)
+			}
+		})
+	}
+}

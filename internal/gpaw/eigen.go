@@ -191,6 +191,21 @@ func (es *EigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 	return prev, fmt.Errorf("gpaw: eigensolver did not converge in %d iterations", es.MaxIter)
 }
 
+// guessValue is the deterministic seed field of InitGuess evaluated at
+// global index (i, j, k) of a dims-sized grid: mixed low-order modes
+// plus a per-state phase. The distributed SCF fills local sub-domains
+// through this same function at global indices, so serial and
+// distributed initial states are bit-identical.
+func guessValue(s int, dims [3]int, i, j, k int) float64 {
+	x := float64(i+1) / float64(dims[0]+1)
+	y := float64(j+1) / float64(dims[1]+1)
+	z := float64(k+1) / float64(dims[2]+1)
+	return math.Sin(math.Pi*x*float64(1+s%3))*
+		math.Sin(math.Pi*y*float64(1+(s/3)%3))*
+		math.Sin(math.Pi*z*float64(1+(s/9)%3)) +
+		0.01*math.Cos(float64(s)+x+2*y+3*z)
+}
+
 // InitGuess fills m wave-function grids with deterministic, linearly
 // independent smooth fields suitable as eigensolver seeds.
 func InitGuess(m int, dims [3]int, halo int) []*grid.Grid {
@@ -198,16 +213,7 @@ func InitGuess(m int, dims [3]int, halo int) []*grid.Grid {
 	for s := 0; s < m; s++ {
 		g := grid.New(dims[0], dims[1], dims[2], halo)
 		s := s
-		g.FillFunc(func(i, j, k int) float64 {
-			// Mixed low-order modes plus a per-state phase.
-			x := float64(i+1) / float64(dims[0]+1)
-			y := float64(j+1) / float64(dims[1]+1)
-			z := float64(k+1) / float64(dims[2]+1)
-			return math.Sin(math.Pi*x*float64(1+s%3))*
-				math.Sin(math.Pi*y*float64(1+(s/3)%3))*
-				math.Sin(math.Pi*z*float64(1+(s/9)%3)) +
-				0.01*math.Cos(float64(s)+x+2*y+3*z)
-		})
+		g.FillFunc(func(i, j, k int) float64 { return guessValue(s, dims, i, j, k) })
 		psis[s] = g
 	}
 	return psis

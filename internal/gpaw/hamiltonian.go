@@ -1,6 +1,8 @@
 package gpaw
 
 import (
+	"math"
+
 	"repro/internal/grid"
 	"repro/internal/stencil"
 )
@@ -50,50 +52,49 @@ func (h *Hamiltonian) Expectation(psi *grid.Grid) float64 {
 	return psi.Dot(hp) / psi.Dot(psi)
 }
 
+// kineticBound returns the kinetic part of the spectral bound: the sum
+// of the operator's absolute coefficients. It depends only on the
+// stencil, so serial and distributed solvers compute it identically.
+func kineticBound(op *stencil.Operator) float64 {
+	bound := 0.0
+	for _, c := range op.X {
+		bound += math.Abs(c)
+	}
+	for _, c := range op.Y {
+		bound += math.Abs(c)
+	}
+	for _, c := range op.Z {
+		bound += math.Abs(c)
+	}
+	return bound + math.Abs(op.Center)
+}
+
+// maxPotential returns the maximum interior value of v, floored at 0 —
+// the potential term of the spectral bound. Max is associative, so a
+// per-rank maximum folded with an MPI max-reduction equals the serial
+// global maximum exactly.
+func maxPotential(v *grid.Grid) float64 {
+	vmax := 0.0
+	d := v.Dims()
+	for i := 0; i < d[0]; i++ {
+		for j := 0; j < d[1]; j++ {
+			for k := 0; k < d[2]; k++ {
+				if val := v.At(i, j, k); val > vmax {
+					vmax = val
+				}
+			}
+		}
+	}
+	return vmax
+}
+
 // SpectralBound returns an upper bound on H's largest eigenvalue, used
 // to pick stable step sizes for the eigensolver: the kinetic bound
 // (sum of |coefficients|) plus the potential maximum.
 func (h *Hamiltonian) SpectralBound() float64 {
-	bound := 0.0
-	for _, c := range h.T.X {
-		if c < 0 {
-			bound -= c
-		} else {
-			bound += c
-		}
-	}
-	for _, c := range h.T.Y {
-		if c < 0 {
-			bound -= c
-		} else {
-			bound += c
-		}
-	}
-	for _, c := range h.T.Z {
-		if c < 0 {
-			bound -= c
-		} else {
-			bound += c
-		}
-	}
-	if h.T.Center > 0 {
-		bound += h.T.Center
-	} else {
-		bound -= h.T.Center
-	}
+	bound := kineticBound(h.T)
 	if h.V != nil {
-		vmax := 0.0
-		d := h.V.Dims()
-		for i := 0; i < d[0]; i++ {
-			for j := 0; j < d[1]; j++ {
-				for k := 0; k < d[2]; k++ {
-					if v := h.V.At(i, j, k); v > vmax {
-						vmax = v
-					}
-				}
-			}
-		}
-		bound += vmax
+		bound += maxPotential(h.V)
 	}
 	return bound
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/detsum"
 	"repro/internal/grid"
 	"repro/internal/topology"
 )
@@ -21,10 +22,25 @@ type System struct {
 // SCFResult reports a converged self-consistent calculation.
 type SCFResult struct {
 	Eigenvalues []float64 // occupied Kohn–Sham eigenvalues (Hartree)
+	TotalEnergy float64   // band-structure energy Σ f_i ε_i (Hartree)
 	Density     *grid.Grid
 	VHartree    *grid.Grid
 	Iterations  int
 	Residual    float64 // final density change (L2)
+}
+
+// bandEnergy folds the occupied eigenvalue sum Σ f_i ε_i in state
+// order — the total energy the differential test harness asserts
+// bit-identical across rank counts.
+func bandEnergy(eig []float64, electrons int) float64 {
+	remaining := float64(electrons)
+	total := 0.0
+	for _, e := range eig {
+		occ := math.Min(2, remaining)
+		remaining -= occ
+		total += occ * e
+	}
+	return total
 }
 
 // SCF runs a simple self-consistent loop with Hartree and local-density
@@ -117,10 +133,12 @@ func (s *SCF) Run() (*SCFResult, error) {
 		}
 		updateVeff(veff, s.Sys.Vext, vh, n)
 		if residual < s.Tol {
-			return &SCFResult{Eigenvalues: eig, Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
+			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+				Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
 		}
 		if it == s.MaxIter {
-			return &SCFResult{Eigenvalues: eig, Density: n, VHartree: vh, Iterations: it, Residual: residual},
+			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+					Density: n, VHartree: vh, Iterations: it, Residual: residual},
 				fmt.Errorf("gpaw: SCF did not reach %g (residual %g)", s.Tol, residual)
 		}
 	}
@@ -132,7 +150,15 @@ func (s *SCF) Run() (*SCFResult, error) {
 // flat rows instead of a per-point accessor loop with a separate norm
 // pass.
 func mixDensity(n, newN *grid.Grid, mix float64) float64 {
-	diffNorm := 0.0
+	var acc detsum.Acc
+	mixDensityAcc(n, newN, mix, &acc)
+	return acc.Round()
+}
+
+// mixDensityAcc is mixDensity accumulating the squared density change
+// into acc, so the distributed SCF can fold per-rank partials into the
+// exact global norm.
+func mixDensityAcc(n, newN *grid.Grid, mix float64, acc *detsum.Acc) {
 	nd, md := n.Data(), newN.Data()
 	for i := 0; i < n.Nx; i++ {
 		for j := 0; j < n.Ny; j++ {
@@ -140,13 +166,12 @@ func mixDensity(n, newN *grid.Grid, mix float64) float64 {
 			b := newN.Index(i, j, 0)
 			for k := 0; k < n.Nz; k++ {
 				diff := md[b+k] - nd[a+k]
-				diffNorm += diff * diff
+				acc.Add(diff * diff)
 				nd[a+k] += mix * diff
 			}
 		}
 	}
 	grid.NoteTraffic(n.Points(), 3)
-	return diffNorm
 }
 
 // updateVeff rebuilds the effective potential veff = vext + vh +

@@ -36,6 +36,41 @@ func NewDecomp(global, procs topology.Dims, halo int) (*Decomp, error) {
 	return &Decomp{Global: global, Procs: procs, Halo: halo}, nil
 }
 
+// NewDecompOrFallback is NewDecomp with a redistribute-or-serialize
+// fallback: when the requested process grid would produce sub-domains
+// thinner than the halo — the situation multigrid coarsening creates on
+// every level halving — the process grid is shrunk per dimension to the
+// largest feasible extent (down to 1, i.e. fully serialized in that
+// dimension) instead of erroring. It returns the decomposition, the
+// process grid actually used, and whether a fallback was applied.
+// Ranks outside the fallback grid own no points and must be idled or
+// redistributed by the caller.
+func NewDecompOrFallback(global, procs topology.Dims, halo int) (*Decomp, topology.Dims, bool, error) {
+	fell := false
+	used := procs
+	for d := 0; d < 3; d++ {
+		if used[d] < 1 {
+			return nil, procs, false, fmt.Errorf("grid: process grid %v has non-positive dimension", procs)
+		}
+		maxP := global[d]
+		if halo > 0 {
+			maxP = global[d] / halo
+		}
+		if maxP < 1 {
+			maxP = 1
+		}
+		if used[d] > maxP {
+			used[d] = maxP
+			fell = true
+		}
+	}
+	dec, err := NewDecomp(global, used, halo)
+	if err != nil {
+		return nil, procs, fell, err
+	}
+	return dec, used, fell, nil
+}
+
 // MustDecomp is NewDecomp panicking on error, for tests and examples.
 func MustDecomp(global, procs topology.Dims, halo int) *Decomp {
 	d, err := NewDecomp(global, procs, halo)

@@ -1,0 +1,71 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestNewDecompOrFallback: multigrid coarsening halves extents until
+// the requested process grid would slice sub-domains thinner than the
+// halo, which NewDecomp rejects (see grid_test.go). The fallback must
+// shrink the process grid to the largest feasible extents instead of
+// erroring, and report that it did so.
+func TestNewDecompOrFallback(t *testing.T) {
+	// Regression for the coarsening path: the top level is accepted,
+	// two halvings later the same process grid is not.
+	if _, err := NewDecomp(topology.Dims{16, 16, 16}, topology.Dims{4, 1, 1}, 2); err != nil {
+		t.Fatalf("top level rejected: %v", err)
+	}
+	if _, err := NewDecomp(topology.Dims{4, 4, 4}, topology.Dims{4, 1, 1}, 2); err == nil {
+		t.Fatal("thin sub-domain accepted by NewDecomp")
+	}
+	// The exact decomposition multigrid produces: level dims 4^3 under a
+	// {4,1,1} process grid with halo 2 -> largest feasible is {2,1,1}.
+	dec, used, fell, err := NewDecompOrFallback(topology.Dims{4, 4, 4}, topology.Dims{4, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fell {
+		t.Fatal("fallback not reported")
+	}
+	if used != (topology.Dims{2, 1, 1}) {
+		t.Fatalf("fallback procs %v, want {2,1,1}", used)
+	}
+	if dec.Procs != used {
+		t.Fatalf("decomp procs %v != used %v", dec.Procs, used)
+	}
+	// Every sub-domain must now be at least halo thick.
+	for r := 0; r < used.Count(); r++ {
+		ld := dec.LocalDims(used.Coord(r))
+		for d := 0; d < 3; d++ {
+			if used[d] > 1 && ld[d] < dec.Halo {
+				t.Fatalf("rank %d local dims %v thinner than halo %d", r, ld, dec.Halo)
+			}
+		}
+	}
+
+	// A valid decomposition passes through untouched.
+	dec2, used2, fell2, err := NewDecompOrFallback(topology.Dims{16, 12, 8}, topology.Dims{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fell2 || used2 != (topology.Dims{2, 2, 2}) || dec2.Procs != used2 {
+		t.Fatalf("valid decomposition altered: used=%v fell=%v", used2, fell2)
+	}
+
+	// Deep coarsening serializes fully: 2^3 with halo 2 over 8 ranks ->
+	// a single process per dimension.
+	_, used3, fell3, err := NewDecompOrFallback(topology.Dims{2, 2, 2}, topology.Dims{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fell3 || used3 != (topology.Dims{1, 1, 1}) {
+		t.Fatalf("deep coarsening: used=%v fell=%v, want {1,1,1} true", used3, fell3)
+	}
+
+	// Invalid process grids still error.
+	if _, _, _, err := NewDecompOrFallback(topology.Dims{8, 8, 8}, topology.Dims{0, 1, 1}, 2); err == nil {
+		t.Fatal("non-positive process grid accepted")
+	}
+}

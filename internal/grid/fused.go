@@ -1,6 +1,10 @@
 package grid
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/detsum"
+)
 
 // Fused and range-based BLAS-1 primitives. The solvers in internal/gpaw
 // are memory-bandwidth-bound: chains like r.Scale(-1); r.Axpy(1, b);
@@ -9,6 +13,15 @@ import "fmt"
 // primitive has a plane-range form ([i0, i1) over the x dimension) so
 // the worker pool in internal/stencil can split one grid's sweep across
 // threads with deterministic, disjoint writes.
+//
+// Reductions accumulate into detsum.Acc: each element's contribution is
+// rounded once and then summed exactly, so a reduction's value depends
+// only on the set of elements it covers — never on how the sweep is
+// partitioned across plane ranges, pool workers, or MPI ranks. This is
+// the contract that lets the distributed solvers in internal/gpaw be
+// bit-identical to the serial ones. Every reduction has an Acc-range
+// form feeding a caller-owned accumulator; the plain forms round the
+// accumulator to float64.
 
 // checkSame panics unless o has g's interior extents.
 func (g *Grid) checkSame(op string, o *Grid) {
@@ -70,19 +83,25 @@ func (g *Grid) AxpyScaleRange(a float64, x *Grid, s float64, i0, i1 int) {
 // DotRange returns the inner product <g, o> over interior planes
 // [i0, i1). A self-dot (o == g) streams only one array.
 func (g *Grid) DotRange(o *Grid, i0, i1 int) float64 {
+	var acc detsum.Acc
+	g.DotAccRange(o, i0, i1, &acc)
+	return acc.Round()
+}
+
+// DotAccRange accumulates the inner product <g, o> over interior planes
+// [i0, i1) into acc.
+func (g *Grid) DotAccRange(o *Grid, i0, i1 int, acc *detsum.Acc) {
 	g.checkSame("Dot", o)
-	sum := 0.0
 	for i := i0; i < i1; i++ {
 		for j := 0; j < g.Ny; j++ {
 			a := g.index(i, j, 0)
 			b := o.index(i, j, 0)
 			for k := 0; k < g.Nz; k++ {
-				sum += g.data[a+k] * o.data[b+k]
+				acc.Add(g.data[a+k] * o.data[b+k])
 			}
 		}
 	}
 	g.noteTraffic(i1-i0, dotStreams(g, o))
-	return sum
 }
 
 // dotStreams counts the DRAM streams of a dot product: one when the
@@ -102,6 +121,14 @@ func (g *Grid) DotNorm(o *Grid) (dot, sumsq float64) {
 
 // DotNormRange is DotNorm over interior planes [i0, i1).
 func (g *Grid) DotNormRange(o *Grid, i0, i1 int) (dot, sumsq float64) {
+	var dotAcc, sqAcc detsum.Acc
+	g.DotNormAccRange(o, i0, i1, &dotAcc, &sqAcc)
+	return dotAcc.Round(), sqAcc.Round()
+}
+
+// DotNormAccRange accumulates <g, o> into dotAcc and <g, g> into sqAcc
+// over interior planes [i0, i1) in one sweep.
+func (g *Grid) DotNormAccRange(o *Grid, i0, i1 int, dotAcc, sqAcc *detsum.Acc) {
 	g.checkSame("DotNorm", o)
 	for i := i0; i < i1; i++ {
 		for j := 0; j < g.Ny; j++ {
@@ -109,13 +136,12 @@ func (g *Grid) DotNormRange(o *Grid, i0, i1 int) (dot, sumsq float64) {
 			b := o.index(i, j, 0)
 			for k := 0; k < g.Nz; k++ {
 				gv := g.data[a+k]
-				dot += gv * o.data[b+k]
-				sumsq += gv * gv
+				dotAcc.Add(gv * o.data[b+k])
+				sqAcc.Add(gv * gv)
 			}
 		}
 	}
 	g.noteTraffic(i1-i0, dotStreams(g, o))
-	return dot, sumsq
 }
 
 // AxpyDot performs g += a*x and returns the updated <g, g> in the same
@@ -128,8 +154,15 @@ func (g *Grid) AxpyDot(a float64, x *Grid) float64 {
 // AxpyDotRange is AxpyDot over interior planes [i0, i1), returning the
 // partial sum of squares.
 func (g *Grid) AxpyDotRange(a float64, x *Grid, i0, i1 int) float64 {
+	var acc detsum.Acc
+	g.AxpyDotAccRange(a, x, i0, i1, &acc)
+	return acc.Round()
+}
+
+// AxpyDotAccRange performs g += a*x over interior planes [i0, i1) and
+// accumulates the updated <g, g> into acc in the same sweep.
+func (g *Grid) AxpyDotAccRange(a float64, x *Grid, i0, i1 int, acc *detsum.Acc) {
 	g.checkSame("AxpyDot", x)
-	sumsq := 0.0
 	for i := i0; i < i1; i++ {
 		for j := 0; j < g.Ny; j++ {
 			dst := g.index(i, j, 0)
@@ -137,27 +170,31 @@ func (g *Grid) AxpyDotRange(a float64, x *Grid, i0, i1 int) float64 {
 			for k := 0; k < g.Nz; k++ {
 				v := g.data[dst+k] + a*x.data[src+k]
 				g.data[dst+k] = v
-				sumsq += v * v
+				acc.Add(v * v)
 			}
 		}
 	}
 	g.noteTraffic(i1-i0, 3)
-	return sumsq
 }
 
 // SumRange returns the sum over interior planes [i0, i1).
 func (g *Grid) SumRange(i0, i1 int) float64 {
-	sum := 0.0
+	var acc detsum.Acc
+	g.SumAccRange(i0, i1, &acc)
+	return acc.Round()
+}
+
+// SumAccRange accumulates the sum over interior planes [i0, i1) into acc.
+func (g *Grid) SumAccRange(i0, i1 int, acc *detsum.Acc) {
 	for i := i0; i < i1; i++ {
 		for j := 0; j < g.Ny; j++ {
 			row := g.index(i, j, 0)
 			for k := 0; k < g.Nz; k++ {
-				sum += g.data[row+k]
+				acc.Add(g.data[row+k])
 			}
 		}
 	}
 	g.noteTraffic(i1-i0, 1)
-	return sum
 }
 
 // AddScalar adds v to every interior point (one read-modify-write

@@ -144,6 +144,53 @@ func (c *Comm) Reduce(root int, op Op, in, out []float64) {
 	}
 }
 
+// ReduceFunc folds every rank's contribution into out at root with a
+// caller-supplied merge function, always applied in ascending rank
+// order: merge(acc, contribution of rank r) for r = 0, 1, ... The rank
+// order is independent of message arrival order, so a merge whose
+// operation is deterministic produces deterministic results run to run
+// regardless of scheduling — the property the solver stack's exact
+// accumulator reductions (internal/detsum) are built on. out is only
+// written at root; in and out must not alias.
+func (c *Comm) ReduceFunc(root int, in, out []float64, merge func(acc, contrib []float64)) {
+	c.enter()
+	defer c.exit()
+	tag := collTag(c.coll)
+	c.coll++
+	if c.rank != root {
+		c.sendInternal(root, tag, in)
+		return
+	}
+	if len(out) < len(in) {
+		panic("mpi: ReduceFunc output shorter than input")
+	}
+	parts := make([][]float64, len(c.group))
+	parts[root] = in
+	for r := 0; r < len(c.group); r++ {
+		if r == root {
+			continue
+		}
+		buf := make([]float64, len(in))
+		c.irecv(r, tag, buf).Wait()
+		parts[r] = buf
+	}
+	acc := out[:len(in)]
+	copy(acc, parts[0])
+	for r := 1; r < len(c.group); r++ {
+		merge(acc, parts[r])
+	}
+}
+
+// AllreduceFunc is ReduceFunc to rank 0 followed by a broadcast of the
+// merged result to every rank.
+func (c *Comm) AllreduceFunc(in, out []float64, merge func(acc, contrib []float64)) {
+	if len(out) < len(in) {
+		panic("mpi: AllreduceFunc output shorter than input")
+	}
+	c.ReduceFunc(0, in, out, merge)
+	c.Bcast(0, out[:len(in)])
+}
+
 // Allreduce combines every rank's contribution with op and distributes
 // the result to all ranks (Reduce to rank 0 + Bcast).
 func (c *Comm) Allreduce(op Op, in, out []float64) {

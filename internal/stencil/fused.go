@@ -3,6 +3,7 @@ package stencil
 import (
 	"fmt"
 
+	"repro/internal/detsum"
 	"repro/internal/grid"
 )
 
@@ -14,8 +15,10 @@ import (
 // stencil through stencilRow into a cache-resident row buffer, so their
 // stencil values are bit-identical to Apply's.
 //
-// Reductions return per-plane partial sums folded in plane order, so
-// every result is independent of the pool's worker count.
+// Reductions accumulate per-worker detsum.Acc partials merged exactly,
+// so every result is independent of the pool's worker count and of any
+// distributed-memory partitioning of the same elements (see
+// internal/detsum).
 //
 // Aliasing: the grid the stencil reads (src/phi) must not alias any
 // output grid — the stencil reads neighbouring planes that a fused
@@ -85,43 +88,58 @@ func (op *Operator) ApplyAxpy(p *Pool, dst, y *grid.Grid, alpha float64, src *gr
 // sweep. The reduction reuses cache-hot values, so the kernel stays at
 // the plain operator's 2 streams — CG's p·Ap comes for free.
 func (op *Operator) ApplyDot(p *Pool, dst, src *grid.Grid) float64 {
+	var acc detsum.Acc
+	op.ApplyDotAcc(p, dst, src, &acc)
+	return acc.Round()
+}
+
+// ApplyDotAcc is ApplyDot accumulating <src, dst> into acc, for callers
+// that fold partial sums across MPI ranks.
+func (op *Operator) ApplyDotAcc(p *Pool, dst, src *grid.Grid, acc *detsum.Acc) {
 	op.checkFused("ApplyDot", src, dst)
 	taps := op.gridTaps(src)
 	in := src.Data()
 	out := dst.Data()
-	part := make([]float64, src.Nx)
-	p.Exec(src.Nx, func(_, x0, x1 int) {
+	accs := make([]detsum.Acc, p.Workers())
+	p.Exec(src.Nx, func(w, x0, x1 int) {
+		a := &accs[w]
 		for i := x0; i < x1; i++ {
-			sum := 0.0
 			for j := 0; j < src.Ny; j++ {
 				srow := src.Index(i, j, 0)
 				drow := dst.Index(i, j, 0)
 				stencilRow(out[drow:drow+src.Nz], in, srow, src.Nz, op.Center, taps)
 				for k := 0; k < src.Nz; k++ {
-					sum += in[srow+k] * out[drow+k]
+					a.Add(in[srow+k] * out[drow+k])
 				}
 			}
-			part[i] = sum
 		}
 	})
 	grid.NoteTraffic(src.Points(), 2)
-	return planeSum(part)
+	mergeAccs(acc, accs)
 }
 
 // ApplyResidual computes r = b - op(phi) and returns |r|^2 in one sweep
 // (3 streams, versus 9 for Apply+Scale+Axpy+Dot). r may alias b; it
 // must not alias phi.
 func (op *Operator) ApplyResidual(p *Pool, r, b, phi *grid.Grid) float64 {
+	var acc detsum.Acc
+	op.ApplyResidualAcc(p, r, b, phi, &acc)
+	return acc.Round()
+}
+
+// ApplyResidualAcc is ApplyResidual accumulating |r|^2 into acc, for
+// callers that fold partial sums across MPI ranks.
+func (op *Operator) ApplyResidualAcc(p *Pool, r, b, phi *grid.Grid, acc *detsum.Acc) {
 	op.checkFused("ApplyResidual", phi, r, b)
 	taps := op.gridTaps(phi)
 	in := phi.Data()
 	rd := r.Data()
 	bd := b.Data()
-	part := make([]float64, phi.Nx)
-	p.Exec(phi.Nx, func(_, x0, x1 int) {
+	accs := make([]detsum.Acc, p.Workers())
+	p.Exec(phi.Nx, func(w, x0, x1 int) {
+		a := &accs[w]
 		buf := make([]float64, phi.Nz)
 		for i := x0; i < x1; i++ {
-			sum := 0.0
 			for j := 0; j < phi.Ny; j++ {
 				stencilRow(buf, in, phi.Index(i, j, 0), phi.Nz, op.Center, taps)
 				rrow := r.Index(i, j, 0)
@@ -129,14 +147,13 @@ func (op *Operator) ApplyResidual(p *Pool, r, b, phi *grid.Grid) float64 {
 				for k := 0; k < phi.Nz; k++ {
 					v := bd[brow+k] - buf[k]
 					rd[rrow+k] = v
-					sum += v * v
+					a.Add(v * v)
 				}
 			}
-			part[i] = sum
 		}
 	})
 	grid.NoteTraffic(phi.Points(), 3)
-	return planeSum(part)
+	mergeAccs(acc, accs)
 }
 
 // ApplySmooth computes dst = phi + c*(rhs - op(phi)) in one sweep

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/detsum"
 	"repro/internal/grid"
 	"repro/internal/topology"
 )
@@ -171,9 +172,10 @@ func (op *Operator) ApplyParallel(p *Pool, dst, src *grid.Grid) {
 
 // The drivers below run the grid package's range-based BLAS-1 sweeps
 // across the pool. Reductions (Sum, Dot, AxpyDot) accumulate one
-// partial per x plane and sum the partials in plane order, so their
-// results are identical for every worker count (they differ from the
-// single-accumulator grid methods only in final-bit rounding).
+// detsum.Acc per worker and merge them exactly, so their results are
+// bit-identical to the serial grid methods for every worker count —
+// and, because the exact merge is partition-independent, to any MPI
+// rank decomposition of the same element set.
 
 // Axpy computes g += a*x across the pool.
 func (p *Pool) Axpy(g *grid.Grid, a float64, x *grid.Grid) {
@@ -200,45 +202,64 @@ func (p *Pool) Copy(g, src *grid.Grid) {
 	p.Exec(g.Nx, func(_, i0, i1 int) { g.CopyInteriorRange(src, i0, i1) })
 }
 
-// planeSum folds per-plane partials in plane order.
-func planeSum(part []float64) float64 {
-	sum := 0.0
-	for _, v := range part {
-		sum += v
+// mergeAccs folds per-worker accumulators into out. The merge is exact,
+// so the result is independent of the worker partitioning.
+func mergeAccs(out *detsum.Acc, accs []detsum.Acc) {
+	for w := range accs {
+		out.Merge(&accs[w])
 	}
-	return sum
 }
 
-// Sum returns the interior sum, reduced deterministically per plane.
+// Sum returns the interior sum, reduced exactly.
 func (p *Pool) Sum(g *grid.Grid) float64 {
-	part := make([]float64, g.Nx)
-	p.Exec(g.Nx, func(_, i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			part[i] = g.SumRange(i, i+1)
-		}
-	})
-	return planeSum(part)
+	var acc detsum.Acc
+	p.SumAcc(g, &acc)
+	return acc.Round()
 }
 
-// Dot returns <g, o>, reduced deterministically per plane.
+// SumAcc accumulates the interior sum into acc across the pool.
+func (p *Pool) SumAcc(g *grid.Grid, acc *detsum.Acc) {
+	accs := make([]detsum.Acc, p.Workers())
+	p.Exec(g.Nx, func(w, i0, i1 int) { g.SumAccRange(i0, i1, &accs[w]) })
+	mergeAccs(acc, accs)
+}
+
+// Dot returns <g, o>, reduced exactly.
 func (p *Pool) Dot(g, o *grid.Grid) float64 {
-	part := make([]float64, g.Nx)
-	p.Exec(g.Nx, func(_, i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			part[i] = g.DotRange(o, i, i+1)
-		}
-	})
-	return planeSum(part)
+	var acc detsum.Acc
+	p.DotAcc(g, o, &acc)
+	return acc.Round()
+}
+
+// DotAcc accumulates <g, o> into acc across the pool.
+func (p *Pool) DotAcc(g, o *grid.Grid, acc *detsum.Acc) {
+	accs := make([]detsum.Acc, p.Workers())
+	p.Exec(g.Nx, func(w, i0, i1 int) { g.DotAccRange(o, i0, i1, &accs[w]) })
+	mergeAccs(acc, accs)
+}
+
+// DotNormAcc accumulates <g, o> into dotAcc and <g, g> into sqAcc in
+// one sweep across the pool.
+func (p *Pool) DotNormAcc(g, o *grid.Grid, dotAcc, sqAcc *detsum.Acc) {
+	w := p.Workers()
+	dots := make([]detsum.Acc, w)
+	sqs := make([]detsum.Acc, w)
+	p.Exec(g.Nx, func(w, i0, i1 int) { g.DotNormAccRange(o, i0, i1, &dots[w], &sqs[w]) })
+	mergeAccs(dotAcc, dots)
+	mergeAccs(sqAcc, sqs)
 }
 
 // AxpyDot computes g += a*x and returns the updated <g, g> in the same
-// sweep, reduced deterministically per plane.
+// sweep, reduced exactly.
 func (p *Pool) AxpyDot(g *grid.Grid, a float64, x *grid.Grid) float64 {
-	part := make([]float64, g.Nx)
-	p.Exec(g.Nx, func(_, i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			part[i] = g.AxpyDotRange(a, x, i, i+1)
-		}
-	})
-	return planeSum(part)
+	var acc detsum.Acc
+	p.AxpyDotAcc(g, a, x, &acc)
+	return acc.Round()
+}
+
+// AxpyDotAcc is AxpyDot accumulating the updated <g, g> into acc.
+func (p *Pool) AxpyDotAcc(g *grid.Grid, a float64, x *grid.Grid, acc *detsum.Acc) {
+	accs := make([]detsum.Acc, p.Workers())
+	p.Exec(g.Nx, func(w, i0, i1 int) { g.AxpyDotAccRange(a, x, i0, i1, &accs[w]) })
+	mergeAccs(acc, accs)
 }
