@@ -7,7 +7,7 @@
 //	gpawsim -experiment fig5a,fig6 -quick
 //
 // Experiments: table1, fig2, fig5a (no batching), fig5b (batch 8), fig6,
-// fig7, headline, ablations, all.
+// fig7, headline, ablations, dist, bands, all.
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, all")
+		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	flag.Parse()
 
@@ -35,6 +35,7 @@ func main() {
 		"fig7":     func() []*bench.Experiment { return []*bench.Experiment{bench.Figure7(opts)} },
 		"headline": func() []*bench.Experiment { return []*bench.Experiment{bench.Headline(opts)} },
 		"dist":     func() []*bench.Experiment { return []*bench.Experiment{bench.DistSolvers(opts)} },
+		"bands":    func() []*bench.Experiment { return []*bench.Experiment{bench.BandSolvers(opts)} },
 		"ablations": func() []*bench.Experiment {
 			return []*bench.Experiment{
 				bench.AblationLatencyHiding(opts),
@@ -48,7 +49,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist"}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands"}
 
 	var selected []string
 	if *experiment == "all" {

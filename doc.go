@@ -32,7 +32,21 @@
 //     paper's four programming approaches at the solver level (per-rank
 //     worker pools inside MPI ranks). Multigrid coarsening follows a
 //     redistribute-or-serialize policy when levels become thinner than
-//     the halo (grid.NewDecompOrFallback).
+//     the halo (grid.NewDecompOrFallback). Band parallelization
+//     (bands.go) adds the second axis of GPAW's Blue Gene/P scaling: a
+//     bands x domain 2D layout splits the wave-functions across band
+//     groups, subspace matrices assemble by circulating state blocks
+//     through the band communicator, and the eigensolver/SCF reproduce
+//     the serial results bit for bit for every bands x domain split
+//     (internal/gpaw/bands_test.go).
+//   - internal/pblas — a miniature ScaLAPACK backing the band layer:
+//     block-cyclic distributed matrices over a 2D process grid built
+//     from mpi.Comm.Split row/column sub-communicators, SUMMA matrix
+//     multiplication, blocked Cholesky, triangular solve/inversion and
+//     a symmetric eigensolver, each bit-identical to its replicated
+//     internal/linalg counterpart for every grid shape and block size
+//     (ascending-k panel broadcasts reproduce the serial rounding
+//     sequence exactly; BENCH_eigen.json tracks the layer's timings).
 //   - internal/detsum — exact, order-independent float64 summation (a
 //     small Kulisch-style superaccumulator). Every reduction in the
 //     solver stack accumulates through it, which makes dot products,

@@ -3,7 +3,9 @@
 // approaches, printed as a speedup-per-core-count table (a miniature
 // version of the paper's Figure 6) — followed by a strong-scaling run
 // of the REAL distributed Poisson solver on the in-process MPI runtime,
-// whose solution is bit-identical at every rank count.
+// whose solution is bit-identical at every rank count, and by the
+// bands x domain eigensolver: the same eigenvalues, bit for bit, for
+// every split of the wave-functions across band groups.
 package main
 
 import (
@@ -99,4 +101,57 @@ func main() {
 	fmt.Println("\nidentical iteration counts at every rank count: the exact")
 	fmt.Println("(order-independent) reductions make the distributed solver")
 	fmt.Println("bit-identical to the serial one")
+
+	// Band parallelization: the second axis. Eight wave-functions in a
+	// harmonic trap are split across band groups; subspace assembly,
+	// orthonormalization and Rayleigh-Ritz run band-parallel with the
+	// dense algebra distributed block-cyclically via internal/pblas.
+	fmt.Println("\nband-parallel eigensolver, 12^3 harmonic trap, 8 states,")
+	fmt.Println("bands x domain layouts (flat optimized):")
+	fmt.Printf("%8s %8s %8s %24s %12s\n", "ranks", "bands", "domain", "eig[0] (Ha)", "time")
+	eGlobal := topology.Dims{12, 12, 12}
+	eh := 0.5
+	vext := gpaw.HarmonicPotential(eGlobal, eh, 1)
+	const m = 8
+	for _, l := range []struct {
+		bands int
+		procs topology.Dims
+	}{
+		{1, topology.Dims{1, 1, 1}},
+		{2, topology.Dims{1, 1, 1}},
+		{2, topology.Dims{1, 1, 2}},
+		{4, topology.Dims{1, 1, 2}},
+	} {
+		var e0 float64
+		start := time.Now()
+		err := mpi.Run(l.bands*l.procs.Count(), mpi.ThreadSingle, func(c *mpi.Comm) {
+			d, err := gpaw.NewDist(c, gpaw.DistConfig{
+				Global: eGlobal, Procs: l.procs, Bands: l.bands, Halo: 2,
+				BC: gpaw.Dirichlet, Approach: core.FlatOptimized, Batch: 2,
+			})
+			if err != nil {
+				panic(err)
+			}
+			defer d.Close()
+			psis := d.InitGuessBand(m, [3]int{eGlobal[0], eGlobal[1], eGlobal[2]})
+			es := gpaw.NewDistEigenSolver(gpaw.NewDistHamiltonian(d, eh, d.ScatterReplicated(vext)))
+			es.Tol = 1e-6
+			es.MaxIter = 800
+			eig, err := es.Solve(m, psis)
+			if err != nil {
+				panic(err)
+			}
+			if c.Rank() == 0 {
+				e0 = eig[0]
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8d %8d %8s %24.17g %11.3fs\n",
+			l.bands*l.procs.Count(), l.bands, l.procs.String(), e0, time.Since(start).Seconds())
+	}
+	fmt.Println("\nevery bands x domain layout prints the same eigenvalue to the")
+	fmt.Println("last bit: subspace matrices assemble through exact reductions and")
+	fmt.Println("the dense algebra runs distributed in internal/pblas")
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpaw"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// BandSolvers runs the band-parallel SCF loop live on the in-process
+// MPI runtime: the bands x domain 2D layout sweeps band-group counts
+// against domain decompositions, with the dense subspace algebra
+// distributed block-cyclically through internal/pblas. Every row's
+// band-structure energy must reproduce the serial solver bit for bit —
+// the determinism contract of the second parallelization axis.
+func BandSolvers(opts Options) *Experiment {
+	e := &Experiment{
+		Name: "bands",
+		Caption: "band-parallel SCF (real runtime): 8 electrons in a harmonic trap, 8^3 grid,\n" +
+			"bands x domain layouts with pblas-distributed subspace algebra;\n" +
+			"E_band must be bit-identical to serial",
+		Header: []string{"ranks", "bands", "domain", "approach", "E_band (Ha)", "iters", "time"},
+	}
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := gpaw.System{
+		Dims:      global,
+		Spacing:   h,
+		BC:        gpaw.Dirichlet,
+		Vext:      gpaw.HarmonicPotential(global, h, 1),
+		Electrons: 8, // four states: s + the closed p shell
+	}
+	scf := gpaw.NewSCF(sys)
+	scf.Tol = 1e-4
+	t0 := time.Now()
+	serial, err := scf.Run()
+	if err != nil {
+		panic(fmt.Sprintf("bench: serial SCF: %v", err))
+	}
+	e.AddRow("1", "1", "-", "reference", fmt.Sprintf("%.12f", serial.TotalEnergy),
+		fmt.Sprintf("%d", serial.Iterations), fmt.Sprintf("%7.3fs", time.Since(t0).Seconds()))
+
+	type layout struct {
+		bands int
+		procs topology.Dims
+	}
+	layouts := []layout{
+		{1, topology.Dims{1, 2, 1}},
+		{2, topology.Dims{1, 1, 1}},
+		{2, topology.Dims{1, 2, 1}},
+		{4, topology.Dims{1, 1, 1}},
+		{2, topology.Dims{2, 2, 1}},
+		{4, topology.Dims{1, 2, 1}},
+	}
+	if opts.Quick {
+		layouts = []layout{{2, topology.Dims{1, 2, 1}}}
+	}
+	identical := true
+	for _, l := range layouts {
+		approaches := []core.Approach{core.FlatOptimized, core.HybridMultiple}
+		if l.bands == 2 && l.procs.Count() == 2 && !opts.Quick {
+			approaches = core.Approaches // full approach sweep on the 2x2 point
+		}
+		for _, a := range approaches {
+			mode := mpi.ThreadSingle
+			threads := 1
+			if a.Hybrid() {
+				threads = 2
+			}
+			if a == core.HybridMultiple {
+				mode = mpi.ThreadMultiple
+			}
+			var res *gpaw.SCFResult
+			start := time.Now()
+			err := mpi.Run(l.bands*l.procs.Count(), mode, func(c *mpi.Comm) {
+				d, err := gpaw.NewDist(c, gpaw.DistConfig{
+					Global: global, Procs: l.procs, Bands: l.bands, Halo: 2, BC: sys.BC,
+					Approach: a, Threads: threads, Batch: 2,
+				})
+				if err != nil {
+					panic(err)
+				}
+				defer d.Close()
+				ds := gpaw.NewDistSCF(d, sys)
+				ds.Tol = 1e-4
+				r, err := ds.Run()
+				if err != nil {
+					panic(err)
+				}
+				if c.Rank() == 0 {
+					res = r
+				}
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: band SCF %dx%v %v: %v", l.bands, l.procs, a, err))
+			}
+			if res.TotalEnergy != serial.TotalEnergy {
+				identical = false
+			}
+			e.AddRow(fmt.Sprintf("%d", l.bands*l.procs.Count()),
+				fmt.Sprintf("%d", l.bands), l.procs.String(), a.String(),
+				fmt.Sprintf("%.12f", res.TotalEnergy),
+				fmt.Sprintf("%d", res.Iterations),
+				fmt.Sprintf("%7.3fs", time.Since(start).Seconds()))
+		}
+	}
+	if identical {
+		e.AddNote("every bands x domain layout reproduced the serial total energy bit for bit")
+	} else {
+		e.AddNote("DEVIATION: some layout broke the determinism contract")
+	}
+	e.AddNote("subspace matrices assemble band-parallel (detsum-exact domain reductions,\n" +
+		"verbatim row merges); Cholesky/eigensolve/rotation run distributed via internal/pblas")
+	return e
+}

@@ -1,0 +1,311 @@
+package gpaw
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// The bands x domain differential harness: the band-parallel eigensolver
+// and SCF loop must produce eigenvalues, wave-functions and total
+// energies bit-identical to the serial solver for band counts {1, 2, 4}
+// crossed with domain rank counts {1, 2, 4} (<= 8 total ranks), for all
+// four programming approaches.
+
+// bandCounts returns the band-group counts the harness sweeps; the CI
+// smoke matrix narrows it through BAND_RANKS.
+func bandCounts(t *testing.T) []int {
+	if v := os.Getenv("BAND_RANKS"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil || b < 1 {
+			t.Fatalf("bad BAND_RANKS %q", v)
+		}
+		return []int{b}
+	}
+	return []int{1, 2, 4}
+}
+
+// domainShapes returns the domain process-grid shape per domain rank
+// count; DIST_RANKS narrows the sweep like the domain-only harness.
+func domainShapes(t *testing.T) []topology.Dims {
+	shapes := map[int]topology.Dims{1: {1, 1, 1}, 2: {1, 1, 2}, 4: {2, 2, 1}}
+	if v := os.Getenv("DIST_RANKS"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("bad DIST_RANKS %q", v)
+		}
+		s, ok := shapes[p]
+		if !ok {
+			t.Skipf("DIST_RANKS=%d has no band-harness domain shape", p)
+		}
+		return []topology.Dims{s}
+	}
+	return []topology.Dims{shapes[1], shapes[2], shapes[4]}
+}
+
+// runBand spins up a bands x domain world and builds the per-rank Dist.
+func runBand(t *testing.T, global, procs topology.Dims, bands int, bc Boundary, a core.Approach, body func(d *Dist)) {
+	t.Helper()
+	err := mpi.Run(bands*procs.Count(), modeFor(a), func(c *mpi.Comm) {
+		d, err := NewDist(c, DistConfig{
+			Global: global, Procs: procs, Bands: bands, Halo: 2, BC: bc,
+			Approach: a, Threads: threadsFor(a), Batch: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		body(d)
+	})
+	if err != nil {
+		t.Fatalf("bands %d procs %v approach %v: %v", bands, procs, a, err)
+	}
+}
+
+// TestBandSymMatrixRotate pins the band-parallel primitives in
+// isolation: the circulating subspace-matrix assembly and the
+// distributed-GEMM rotation must match serial symMatrix/rotate bitwise
+// on a 2 x 2 bands x domain layout.
+func TestBandSymMatrixRotate(t *testing.T) {
+	global := topology.Dims{8, 6, 8}
+	dims := [3]int{8, 6, 8}
+	const m = 5
+	serial := InitGuess(m, dims, 2)
+	want := linalg.NewMatrix(m, m)
+	symMatrix(nil, m, want, func(i, j int) float64 { return serial[i].Dot(serial[j]) })
+	// A deterministic full-rank rotation.
+	c := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			c[i][j] = math.Sin(float64(3*i+5*j+1)) * 0.4
+		}
+		c[i][i] += 1.5
+	}
+	rotSerial := make([]*grid.Grid, m)
+	for i := range rotSerial {
+		rotSerial[i] = serial[i].Clone()
+	}
+	rotate(nil, rotSerial, c)
+	runBand(t, global, topology.Dims{1, 1, 2}, 2, Dirichlet, core.FlatOptimized, func(d *Dist) {
+		psis := d.InitGuessBand(m, dims)
+		got := linalg.NewMatrix(m, m)
+		d.bandSymMatrix(m, got, psis, psis)
+		if diff := linalg.MaxAbsDiff(got, want); diff != 0 {
+			t.Errorf("bandSymMatrix deviates from serial symMatrix by %g", diff)
+		}
+		d.bandRotate(m, psis, c)
+		lo, _ := d.BandRange(m)
+		for s, psi := range psis {
+			g := d.GatherGlobal(psi)
+			if d.Cart.Rank() != 0 {
+				continue
+			}
+			if diff := g.MaxAbsDiff(rotSerial[lo+s]); diff != 0 {
+				t.Errorf("band %d: bandRotate state %d deviates from serial rotate by %g", d.Band, lo+s, diff)
+			}
+		}
+	})
+}
+
+// TestBandEigenDifferential is the eigensolver acceptance matrix:
+// eigenvalues AND converged wave-functions bit-identical to the serial
+// solver for every bands x domain layout and all four approaches.
+func TestBandEigenDifferential(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	dims := [3]int{8, 8, 8}
+	h := 0.5
+	const m = 4
+	vext := HarmonicPotential(global, h, 1)
+	ham := NewHamiltonian(h, vext, Dirichlet)
+	es := NewEigenSolver(ham)
+	es.Tol = 1e-7
+	es.MaxIter = 500
+	serialPsis := InitGuess(m, dims, 2)
+	want, err := es.Solve(serialPsis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bands := range bandCounts(t) {
+		for _, procs := range domainShapes(t) {
+			if bands*procs.Count() > 8 {
+				continue
+			}
+			for _, a := range core.Approaches {
+				runBand(t, global, procs, bands, Dirichlet, a, func(d *Dist) {
+					vloc := d.ScatterReplicated(vext)
+					dh := NewDistHamiltonian(d, h, vloc)
+					des := NewDistEigenSolver(dh)
+					des.Tol = 1e-7
+					des.MaxIter = 500
+					psis := d.InitGuessBand(m, dims)
+					eig, err := des.Solve(m, psis)
+					if err != nil {
+						panic(err)
+					}
+					for i := range eig {
+						if eig[i] != want[i] {
+							t.Errorf("bands %d procs %v approach %v: eig[%d]=%.17g, serial %.17g",
+								bands, procs, a, i, eig[i], want[i])
+						}
+					}
+					// Wave-functions: the rotation sequence is deterministic
+					// (canonical SymEig, bit-identical subspace matrices), so
+					// the states themselves must match bitwise.
+					gathered := d.GatherBandStates(m, psis)
+					if gathered != nil {
+						for s, g := range gathered {
+							if diff := g.MaxAbsDiff(serialPsis[s]); diff != 0 {
+								t.Errorf("bands %d procs %v approach %v: state %d deviates by %g",
+									bands, procs, a, s, diff)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBandSCFDifferential is the SCF acceptance matrix: total energies,
+// eigenvalues, iteration counts, residuals and fields bit-identical to
+// the serial SCF for every bands x domain layout and all four
+// approaches. Eight electrons give four occupied states — the s level
+// plus the closed, 3-fold degenerate p shell of the harmonic trap, so
+// the damped subspace iteration converges while every band count up to
+// 4 still gets a non-trivial slice (TestBandEmptyGroup covers slices
+// that come up empty).
+func TestBandSCFDifferential(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := scfSystem(global, h)
+	sys.Electrons = 8 // four doubly occupied states: s + closed p shell
+	scf := NewSCF(sys)
+	scf.Tol = 1e-4
+	want, err := scf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bands := range bandCounts(t) {
+		for _, procs := range domainShapes(t) {
+			if bands*procs.Count() > 8 {
+				continue
+			}
+			approaches := core.Approaches
+			if testing.Short() && bands*procs.Count() > 4 {
+				approaches = approaches[:2]
+			}
+			for _, a := range approaches {
+				runBand(t, global, procs, bands, sys.BC, a, func(d *Dist) {
+					ds := NewDistSCF(d, sys)
+					ds.Tol = 1e-4
+					res, err := ds.Run()
+					if err != nil {
+						panic(err)
+					}
+					if res.TotalEnergy != want.TotalEnergy {
+						t.Errorf("SCF bands %d procs %v approach %v: E=%.17g, serial %.17g",
+							bands, procs, a, res.TotalEnergy, want.TotalEnergy)
+					}
+					if res.Iterations != want.Iterations || res.Residual != want.Residual {
+						t.Errorf("SCF bands %d procs %v approach %v: (it,res)=(%d,%.17g), serial (%d,%.17g)",
+							bands, procs, a, res.Iterations, res.Residual, want.Iterations, want.Residual)
+					}
+					for i := range res.Eigenvalues {
+						if res.Eigenvalues[i] != want.Eigenvalues[i] {
+							t.Errorf("SCF bands %d procs %v approach %v: eig[%d]=%.17g, serial %.17g",
+								bands, procs, a, i, res.Eigenvalues[i], want.Eigenvalues[i])
+						}
+					}
+					checkIdentical(t, d, res.Density, want.Density, "band SCF density", procs, a)
+					checkIdentical(t, d, res.VHartree, want.VHartree, "band SCF vH", procs, a)
+				})
+			}
+		}
+	}
+}
+
+// TestBandEmptyGroup: more band groups than states leaves a group with
+// an empty slice; every collective path must stay consistent and the
+// eigenvalues bit-identical.
+func TestBandEmptyGroup(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	dims := [3]int{8, 8, 8}
+	h := 0.5
+	const m = 3 // over 4 band groups: slices 1,1,1,0
+	vext := HarmonicPotential(global, h, 1)
+	ham := NewHamiltonian(h, vext, Dirichlet)
+	es := NewEigenSolver(ham)
+	es.Tol = 1e-7
+	es.MaxIter = 500
+	want, err := es.Solve(InitGuess(m, dims, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBand(t, global, topology.Dims{1, 1, 1}, 4, Dirichlet, core.FlatOptimized, func(d *Dist) {
+		lo, hi := d.BandRange(m)
+		if d.Band == 3 && hi-lo != 0 {
+			t.Errorf("band 3 expected empty slice, got %d states", hi-lo)
+		}
+		dh := NewDistHamiltonian(d, h, d.ScatterReplicated(vext))
+		des := NewDistEigenSolver(dh)
+		des.Tol = 1e-7
+		des.MaxIter = 500
+		eig, err := des.Solve(m, d.InitGuessBand(m, dims))
+		if err != nil {
+			panic(err)
+		}
+		for i := range eig {
+			if eig[i] != want[i] {
+				t.Errorf("empty-group run: eig[%d]=%.17g, serial %.17g", i, eig[i], want[i])
+			}
+		}
+	})
+}
+
+// TestBandSmoke is the CI smoke-matrix entry point for the BAND_RANKS
+// axis: one quick eigen + SCF differential slice per configured
+// bands x domain point, every approach.
+func TestBandSmoke(t *testing.T) {
+	bands := 2
+	if v := os.Getenv("BAND_RANKS"); v != "" {
+		var err error
+		if bands, err = strconv.Atoi(v); err != nil {
+			t.Fatalf("bad BAND_RANKS %q", v)
+		}
+	}
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := scfSystem(global, h)
+	sys.Electrons = 8
+	scf := NewSCF(sys)
+	scf.Tol = 1e-4
+	want, err := scf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := domainShapes(t)[0]
+	if bands*procs.Count() > 8 {
+		t.Skipf("bands %d x domain %v exceeds the 8-rank smoke budget", bands, procs)
+	}
+	for _, a := range core.Approaches {
+		runBand(t, global, procs, bands, sys.BC, a, func(d *Dist) {
+			ds := NewDistSCF(d, sys)
+			ds.Tol = 1e-4
+			res, err := ds.Run()
+			if err != nil {
+				panic(err)
+			}
+			if res.TotalEnergy != want.TotalEnergy {
+				t.Errorf("smoke bands %d procs %v approach %v: E=%.17g, serial %.17g",
+					bands, procs, a, res.TotalEnergy, want.TotalEnergy)
+			}
+		})
+	}
+}

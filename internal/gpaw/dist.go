@@ -7,8 +7,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/detsum"
 	"repro/internal/grid"
-	"repro/internal/linalg"
 	"repro/internal/mpi"
+	"repro/internal/pblas"
 	"repro/internal/stencil"
 	"repro/internal/topology"
 )
@@ -49,7 +49,8 @@ const distTag = 1 << 24
 // DistConfig describes one rank's share of a distributed calculation.
 type DistConfig struct {
 	Global   topology.Dims // global grid extents
-	Procs    topology.Dims // process grid (product must equal comm size)
+	Procs    topology.Dims // domain process grid (per band group)
+	Bands    int           // band groups forming the bands x domain 2D layout (0 or 1 = domain-only)
 	Halo     int           // halo thickness = stencil radius (2 for the paper's operators)
 	BC       Boundary
 	Approach core.Approach
@@ -58,13 +59,28 @@ type DistConfig struct {
 }
 
 // Dist ties one MPI rank into a distributed real-space calculation: the
-// local sub-domain, the Cartesian communicator, the halo-exchange
-// engine and the per-rank worker pool.
+// local sub-domain, the Cartesian domain communicator, the band
+// communicator crossing band groups at fixed domain coordinate, the
+// halo-exchange engine and the per-rank worker pool. With Bands > 1 the
+// ranks form a bands x domain 2D layout: world rank r belongs to band
+// group r / Procs.Count() and holds domain rank r % Procs.Count()
+// within it (see bands.go).
 type Dist struct {
 	Cart     *mpi.Cart
 	Decomp   *grid.Decomp
 	BC       Boundary
 	Approach core.Approach
+
+	// World is the full bands x domain communicator NewDist was given.
+	World *mpi.Comm
+	// Bands is the number of band groups; Band is this rank's group.
+	Bands, Band int
+	// BandComm connects the ranks holding this domain sub-domain across
+	// all band groups (size Bands, rank = band group index).
+	BandComm *mpi.Comm
+	// BGrid is the 2D process grid over BandComm that internal/pblas
+	// distributes the dense subspace algebra on.
+	BGrid *pblas.Grid2D
 
 	eng   *core.Engine
 	pool  *stencil.Pool
@@ -74,18 +90,35 @@ type Dist struct {
 }
 
 // NewDist builds the per-rank distributed context. Every rank of the
-// communicator must call it with identical configuration.
+// communicator must call it with identical configuration. The
+// communicator size must equal Bands * Procs.Count(); contiguous runs
+// of Procs.Count() world ranks form the band groups, so each group's
+// domain communicator keeps the Cartesian rank order of the
+// domain-only layout.
 func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
-	if cfg.Procs.Count() != comm.Size() {
-		return nil, fmt.Errorf("gpaw: process grid %v needs %d ranks, have %d",
-			cfg.Procs, cfg.Procs.Count(), comm.Size())
+	bands := cfg.Bands
+	if bands < 1 {
+		bands = 1
+	}
+	nproc := cfg.Procs.Count()
+	if bands*nproc != comm.Size() {
+		return nil, fmt.Errorf("gpaw: bands x domain layout %d x %v needs %d ranks, have %d",
+			bands, cfg.Procs, bands*nproc, comm.Size())
 	}
 	dec, err := grid.NewDecomp(cfg.Global, cfg.Procs, cfg.Halo)
 	if err != nil {
 		return nil, err
 	}
+	band := comm.Rank() / nproc
+	domainComm := comm.Split(band, comm.Rank())
+	bandComm := comm.Split(comm.Rank()%nproc, comm.Rank())
+	pr, pc := pblas.Squarish(bands)
+	bgrid, err := pblas.NewGrid2D(bandComm, pr, pc)
+	if err != nil {
+		return nil, err
+	}
 	periodic := cfg.BC == Periodic
-	cart := comm.CartCreate(cfg.Procs, [3]bool{periodic, periodic, periodic}, true)
+	cart := domainComm.CartCreate(cfg.Procs, [3]bool{periodic, periodic, periodic}, true)
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
@@ -99,7 +132,9 @@ func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach, eng: eng, pool: eng.WorkerPool()}
+	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach,
+		World: comm, Bands: bands, Band: band, BandComm: bandComm, BGrid: bgrid,
+		eng: eng, pool: eng.WorkerPool()}
 	d.coord = cart.Coords(cart.Rank())
 	d.off = dec.Offset(d.coord)
 	d.local = dec.LocalDims(d.coord)
@@ -735,73 +770,10 @@ func (h *DistHamiltonian) SpectralBound() float64 {
 	return bound
 }
 
-// symMatrixDist fills the symmetric matrix of globally reduced
-// accumulator entries: f accumulates the local partial of entry (i, j)
-// for j >= i, the entries are reduced in a single exact Allreduce, and
-// the rounded global values land symmetrically in out — bit-identical
-// to the serial symMatrix entries.
-func (d *Dist) symMatrixDist(m int, out linalg.Matrix, f func(i, j int, acc *detsum.Acc)) {
-	type pair struct{ i, j int }
-	pairs := make([]pair, 0, m*(m+1)/2)
-	for i := 0; i < m; i++ {
-		for j := i; j < m; j++ {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	accs := make([]detsum.Acc, len(pairs))
-	d.pool.Exec(len(pairs), func(_, lo, hi int) {
-		for n := lo; n < hi; n++ {
-			f(pairs[n].i, pairs[n].j, &accs[n])
-		}
-	})
-	ptrs := make([]*detsum.Acc, len(accs))
-	for i := range accs {
-		ptrs[i] = &accs[i]
-	}
-	vals := d.reduceAccs(ptrs)
-	for n, pr := range pairs {
-		out[pr.i][pr.j], out[pr.j][pr.i] = vals[n], vals[n]
-	}
-}
-
-// orthonormalize mirrors OrthonormalizeWith on distributed states: the
-// overlap matrix is assembled from exact global dots, and the identical
-// Cholesky rotation is applied to every rank's sub-domain.
-func (d *Dist) orthonormalize(psis []*grid.Grid) error {
-	m := len(psis)
-	s := linalg.NewMatrix(m, m)
-	d.symMatrixDist(m, s, func(i, j int, acc *detsum.Acc) {
-		psis[i].DotAccRange(psis[j], 0, psis[i].Nx, acc)
-	})
-	l, err := linalg.Cholesky(s)
-	if err != nil {
-		return fmt.Errorf("gpaw: overlap not positive definite (linearly dependent states): %w", err)
-	}
-	linv := linalg.InvertLower(l)
-	rotate(d.pool, psis, linalg.Transpose(linv))
-	return nil
-}
-
-// rayleighRitz mirrors RayleighRitz: H applications through the
-// approach-structured exchange, subspace matrix from exact global dots,
-// identical diagonalization and local rotation on every rank.
-func (h *DistHamiltonian) rayleighRitz(psis []*grid.Grid) []float64 {
-	m := len(psis)
-	hp := make([]*grid.Grid, m)
-	for i := range psis {
-		hp[i] = grid.NewDims(psis[i].Dims(), psis[i].H)
-	}
-	h.applyStates(hp, psis, 1, 0)
-	hm := linalg.NewMatrix(m, m)
-	h.D.symMatrixDist(m, hm, func(i, j int, acc *detsum.Acc) {
-		psis[i].DotAccRange(hp[j], 0, psis[i].Nx, acc)
-	})
-	eig, vecs := linalg.SymEig(hm)
-	rotate(h.D.pool, psis, vecs)
-	return eig
-}
-
-// DistEigenSolver mirrors EigenSolver across ranks.
+// DistEigenSolver mirrors EigenSolver across the bands x domain layout:
+// the damped subspace iteration runs on this band group's slice of the
+// states, while orthonormalization, subspace assembly and Rayleigh–Ritz
+// run band-parallel through internal/pblas (see bands.go).
 type DistEigenSolver struct {
 	H       *DistHamiltonian
 	Tol     float64
@@ -813,16 +785,22 @@ func NewDistEigenSolver(h *DistHamiltonian) *DistEigenSolver {
 	return &DistEigenSolver{H: h, Tol: 1e-8, MaxIter: 2000}
 }
 
-// Solve iterates the local shares of psis toward the lowest eigenstates
-// and returns eigenvalues bit-identical to the serial solver's. As with
-// the serial solver, slice elements may be replaced; read states
-// through the slice afterwards.
-func (es *DistEigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
-	if len(psis) == 0 {
+// Solve iterates this band group's slice of the m global states toward
+// the lowest eigenstates and returns all m eigenvalues, bit-identical
+// to the serial solver's for every bands x domain layout. psis must be
+// the slice D.BandRange(m) selects (the whole state set when Bands is
+// 1). As with the serial solver, slice elements may be replaced; read
+// states through the slice afterwards.
+func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
+	if m < 1 {
 		return nil, fmt.Errorf("gpaw: no states to solve")
 	}
 	d := es.H.D
-	if err := d.orthonormalize(psis); err != nil {
+	if lo, hi := d.BandRange(m); hi-lo != len(psis) {
+		return nil, fmt.Errorf("gpaw: band group %d holds %d of %d states, want %d",
+			d.Band, len(psis), m, hi-lo)
+	}
+	if err := d.orthonormalize(m, psis); err != nil {
 		return nil, err
 	}
 	tau := 1.0 / es.H.SpectralBound()
@@ -830,21 +808,25 @@ func (es *DistEigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 	for i := range outs {
 		outs[i] = grid.NewDims(psis[i].Dims(), psis[i].H)
 	}
-	prev := make([]float64, len(psis))
+	prev := make([]float64, m)
 	for i := range prev {
 		prev[i] = math.Inf(1)
 	}
 	for it := 1; it <= es.MaxIter; it++ {
-		// Damped power step psi <- psi - tau*H*psi for every state, one
-		// fused sweep each behind the approach's exchange protocol.
+		// Damped power step psi <- psi - tau*H*psi for this group's
+		// states, one fused sweep each behind the approach's exchange
+		// protocol.
 		es.H.applyStates(outs, psis, -tau, 1)
 		for i := range psis {
 			psis[i], outs[i] = outs[i], psis[i]
 		}
-		if err := d.orthonormalize(psis); err != nil {
+		if err := d.orthonormalize(m, psis); err != nil {
 			return nil, err
 		}
-		eig := es.H.rayleighRitz(psis)
+		eig, err := es.H.RayleighRitz(m, psis)
+		if err != nil {
+			return nil, err
+		}
 		maxd := 0.0
 		for i, e := range eig {
 			if dd := math.Abs(e - prev[i]); dd > maxd {
@@ -883,35 +865,22 @@ func NewDistSCF(d *Dist, sys System) *DistSCF {
 // states returns the number of doubly occupied orbitals.
 func (s *DistSCF) states() int { return (s.Sys.Electrons + 1) / 2 }
 
-// initGuessLocal fills the local shares of the m seed states through
-// the same global-index field as the serial InitGuess.
-func (s *DistSCF) initGuessLocal(m, halo int) []*grid.Grid {
+// buildDensity mirrors SCF.buildDensity on the bands x domain layout:
+// states circulate through the band communicator in ascending global
+// order so every rank accumulates occ·|ψ|² in exactly the serial state
+// order, then the normalization sum reduces exactly over the domain.
+// The returned density is replicated across band groups.
+func (s *DistSCF) buildDensity(m int, psis []*grid.Grid) *grid.Grid {
 	d := s.D
-	dims := [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]}
-	psis := make([]*grid.Grid, m)
-	for st := 0; st < m; st++ {
-		g := grid.NewDims(d.local, halo)
-		st := st
-		g.FillFunc(func(i, j, k int) float64 {
-			return guessValue(st, dims, d.off[0]+i, d.off[1]+j, d.off[2]+k)
-		})
-		psis[st] = g
-	}
-	return psis
-}
-
-// buildDensity mirrors SCF.buildDensity: local accumulation in state
-// order, exact global normalization.
-func (s *DistSCF) buildDensity(psis []*grid.Grid) *grid.Grid {
-	n := grid.NewDims(s.D.local, psis[0].H)
+	n := grid.NewDims(d.local, d.Decomp.Halo)
 	dV := s.Sys.Spacing * s.Sys.Spacing * s.Sys.Spacing
 	remaining := float64(s.Sys.Electrons)
-	for _, psi := range psis {
+	d.forEachBandState(m, psis, func(_ int, src *grid.Grid) {
 		occ := math.Min(2, remaining)
 		remaining -= occ
-		n.AccumSquared(occ, psi)
-	}
-	total := s.D.Sum(n) * dV
+		n.AccumSquared(occ, src)
+	})
+	total := d.Sum(n) * dV
 	if total > 0 {
 		n.Scale(float64(s.Sys.Electrons) / total)
 	}
@@ -936,8 +905,7 @@ func (s *DistSCF) Run() (*SCFResult, error) {
 	}
 	d := s.D
 	m := s.states()
-	halo := 2
-	psis := s.initGuessLocal(m, halo)
+	psis := d.InitGuessBand(m, [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]})
 	poisson := NewDistPoisson(d, s.Sys.Spacing)
 	poisson.Tol = 1e-8
 	vextLocal := d.ScatterReplicated(s.Sys.Vext)
@@ -951,11 +919,11 @@ func (s *DistSCF) Run() (*SCFResult, error) {
 		es.Tol = 1e-7
 		es.MaxIter = 600
 		var err error
-		eig, err = es.Solve(psis)
+		eig, err = es.Solve(m, psis)
 		if err != nil {
 			return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
 		}
-		newN := s.buildDensity(psis)
+		newN := s.buildDensity(m, psis)
 		var residual float64
 		if n == nil {
 			n = newN

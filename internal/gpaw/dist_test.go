@@ -405,7 +405,7 @@ func TestDistEigenDifferential(t *testing.T) {
 						})
 						dpsis[s] = g
 					}
-					eig, err := des.Solve(dpsis)
+					eig, err := des.Solve(3, dpsis)
 					if err != nil {
 						panic(err)
 					}

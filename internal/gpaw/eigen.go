@@ -131,8 +131,9 @@ func lincombInto(dst *grid.Grid, c linalg.Matrix, col int, srcs []*grid.Grid) {
 
 // RayleighRitz diagonalizes H in the span of psis: it computes the
 // subspace matrix <psi_i|H|psi_j>, diagonalizes it, rotates the states
-// to the Ritz vectors and returns the Ritz values (ascending).
-func RayleighRitz(h *Hamiltonian, psis []*grid.Grid) []float64 {
+// to the Ritz vectors and returns the Ritz values (ascending). An error
+// means the subspace diagonalization failed to converge.
+func RayleighRitz(h *Hamiltonian, psis []*grid.Grid) ([]float64, error) {
 	m := len(psis)
 	hp := make([]*grid.Grid, m)
 	for i := range psis {
@@ -141,9 +142,12 @@ func RayleighRitz(h *Hamiltonian, psis []*grid.Grid) []float64 {
 	}
 	hm := linalg.NewMatrix(m, m)
 	symMatrix(h.Pool, m, hm, func(i, j int) float64 { return psis[i].Dot(hp[j]) })
-	eig, vecs := linalg.SymEig(hm)
+	eig, vecs, err := linalg.SymEig(hm)
+	if err != nil {
+		return nil, fmt.Errorf("gpaw: subspace diagonalization: %w", err)
+	}
 	rotate(h.Pool, psis, vecs)
-	return eig
+	return eig, nil
 }
 
 // Solve iterates psis (initial guesses) toward the lowest len(psis)
@@ -176,7 +180,10 @@ func (es *EigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 		if err := OrthonormalizeWith(es.H.Pool, psis); err != nil {
 			return nil, err
 		}
-		eig := RayleighRitz(es.H, psis)
+		eig, err := RayleighRitz(es.H, psis)
+		if err != nil {
+			return nil, err
+		}
 		maxd := 0.0
 		for i, e := range eig {
 			if d := math.Abs(e - prev[i]); d > maxd {

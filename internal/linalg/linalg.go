@@ -75,22 +75,50 @@ func Transpose(a Matrix) Matrix {
 	return out
 }
 
+// symEigMaxSweeps bounds the cyclic Jacobi iteration; Jacobi converges
+// quadratically, so a matrix that has not converged by then is
+// pathological and SymEig reports it instead of returning silently.
+const symEigMaxSweeps = 100
+
+// offDiagNorm2 returns the squared Frobenius norm of the strict upper
+// triangle — the Jacobi convergence measure.
+func offDiagNorm2(w Matrix) float64 {
+	off := 0.0
+	for i := range w {
+		for j := i + 1; j < len(w); j++ {
+			off += w[i][j] * w[i][j]
+		}
+	}
+	return off
+}
+
 // SymEig diagonalizes a symmetric matrix with the cyclic Jacobi method,
 // returning eigenvalues in ascending order and the corresponding
 // eigenvectors as the COLUMNS of the returned matrix. The input is not
 // modified.
-func SymEig(a Matrix) (eig []float64, vecs Matrix) {
+//
+// The eigenpair order is canonical: eigenvalues sort ascending with a
+// deterministic tie-break (exactly equal eigenvalues keep the Jacobi
+// column order, which is itself deterministic for bit-identical input),
+// and each eigenvector's sign is normalized so its largest-magnitude
+// component (first such index on magnitude ties) is non-negative. The
+// band-parallel solver layer relies on this: every rank diagonalizes a
+// bit-identical subspace matrix and must derive a bit-identical rotation.
+//
+// If the off-diagonal norm has not dropped below the convergence
+// threshold after symEigMaxSweeps sweeps, SymEig returns an explicit
+// non-convergence error rather than a silently unconverged basis.
+func SymEig(a Matrix) (eig []float64, vecs Matrix, err error) {
 	n := len(a)
+	if n == 0 {
+		return []float64{}, NewMatrix(0, 0), nil
+	}
 	w := a.Clone()
 	v := Identity(n)
-	for sweep := 0; sweep < 100; sweep++ {
-		off := 0.0
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				off += w[i][j] * w[i][j]
-			}
-		}
-		if off < 1e-28*float64(n*n) {
+	converged := false
+	for sweep := 0; sweep < symEigMaxSweeps; sweep++ {
+		if offDiagNorm2(w) < 1e-28*float64(n*n) {
+			converged = true
 			break
 		}
 		for p := 0; p < n-1; p++ {
@@ -121,7 +149,14 @@ func SymEig(a Matrix) (eig []float64, vecs Matrix) {
 			}
 		}
 	}
-	// Extract and sort ascending, permuting eigenvector columns.
+	if !converged && offDiagNorm2(w) >= 1e-28*float64(n*n) {
+		return nil, nil, fmt.Errorf("linalg: Jacobi eigensolver did not converge in %d sweeps (off-diagonal %g)",
+			symEigMaxSweeps, math.Sqrt(offDiagNorm2(w)))
+	}
+	// Extract and sort ascending, permuting eigenvector columns. The
+	// insertion sort is stable (strict <), so exactly equal eigenvalues
+	// keep the Jacobi column order — the deterministic tie-break the
+	// canonical eigenpair order promises.
 	eig = make([]float64, n)
 	for i := 0; i < n; i++ {
 		eig[i] = w[i][i]
@@ -139,11 +174,25 @@ func SymEig(a Matrix) (eig []float64, vecs Matrix) {
 	vecs = NewMatrix(n, n)
 	for newCol, oldCol := range idx {
 		sortedEig[newCol] = eig[oldCol]
+		// Canonical sign: make the largest-magnitude component (first
+		// index on exact magnitude ties) non-negative. Negation is exact,
+		// so this costs no accuracy and fixes the one residual degree of
+		// freedom of a non-degenerate eigenvector.
+		pivot := 0
+		for r := 1; r < n; r++ {
+			if math.Abs(v[r][oldCol]) > math.Abs(v[pivot][oldCol]) {
+				pivot = r
+			}
+		}
+		sign := 1.0
+		if v[pivot][oldCol] < 0 {
+			sign = -1
+		}
 		for r := 0; r < n; r++ {
-			vecs[r][newCol] = v[r][oldCol]
+			vecs[r][newCol] = sign * v[r][oldCol]
 		}
 	}
-	return sortedEig, vecs
+	return sortedEig, vecs, nil
 }
 
 // Cholesky factors a symmetric positive-definite matrix as L*Lᵀ,

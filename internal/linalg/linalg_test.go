@@ -70,7 +70,10 @@ func TestTranspose(t *testing.T) {
 
 func TestSymEigDiagonal(t *testing.T) {
 	a := Matrix{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
-	eig, vecs := SymEig(a)
+	eig, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{1, 2, 3}
 	for i := range want {
 		if math.Abs(eig[i]-want[i]) > 1e-12 {
@@ -85,7 +88,10 @@ func TestSymEigDiagonal(t *testing.T) {
 
 func TestSymEigKnown2x2(t *testing.T) {
 	// [[2,1],[1,2]] has eigenvalues 1 and 3.
-	eig, vecs := SymEig(Matrix{{2, 1}, {1, 2}})
+	eig, vecs, err := SymEig(Matrix{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(eig[0]-1) > 1e-12 || math.Abs(eig[1]-3) > 1e-12 {
 		t.Fatalf("eig = %v", eig)
 	}
@@ -100,7 +106,10 @@ func TestSymEigReconstruction(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 2 + rng.Intn(9)
 		a := randomSym(rng, n)
-		eig, v := SymEig(a)
+		eig, v, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Ascending order.
 		for i := 1; i < n; i++ {
 			if eig[i] < eig[i-1] {
@@ -129,7 +138,10 @@ func TestSymEigTraceProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(6)
 		a := randomSym(rng, n)
-		eig, _ := SymEig(a)
+		eig, _, err := SymEig(a)
+		if err != nil {
+			return false
+		}
 		trace, sum := 0.0, 0.0
 		for i := 0; i < n; i++ {
 			trace += a[i][i]
@@ -209,5 +221,72 @@ func TestInvertLower(t *testing.T) {
 	prod := MatMul(l, inv)
 	if MaxAbsDiff(prod, Identity(5)) > 1e-10 {
 		t.Fatalf("L*L^-1 != I (err %g)", MaxAbsDiff(prod, Identity(5)))
+	}
+}
+
+// TestSymEigTieBreakStable: exactly degenerate eigenvalues keep the
+// Jacobi column order — for a scalar matrix the eigenvector basis is the
+// identity, in order.
+func TestSymEigTieBreakStable(t *testing.T) {
+	a := Matrix{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}}
+	eig, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range eig {
+		if eig[i] != 2 {
+			t.Fatalf("eig = %v", eig)
+		}
+	}
+	if MaxAbsDiff(vecs, Identity(3)) != 0 {
+		t.Fatalf("degenerate eigenvectors reordered: %v", vecs)
+	}
+}
+
+// TestSymEigCanonicalSign: every returned eigenvector has a non-negative
+// largest-magnitude component, and repeated diagonalizations of the same
+// matrix are bit-identical.
+func TestSymEigCanonicalSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(7)
+		a := randomSym(rng, n)
+		eig, v, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for col := 0; col < n; col++ {
+			pivot := 0
+			for r := 1; r < n; r++ {
+				if math.Abs(v[r][col]) > math.Abs(v[pivot][col]) {
+					pivot = r
+				}
+			}
+			if v[pivot][col] < 0 {
+				t.Fatalf("trial %d col %d: pivot component %g negative", trial, col, v[pivot][col])
+			}
+		}
+		eig2, v2, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eig {
+			if eig[i] != eig2[i] {
+				t.Fatalf("trial %d: eigenvalues not reproducible", trial)
+			}
+		}
+		if MaxAbsDiff(v, v2) != 0 {
+			t.Fatalf("trial %d: eigenvectors not reproducible", trial)
+		}
+	}
+}
+
+// TestSymEigNonConvergence: a skew-symmetric input (outside the
+// symmetric contract) never converges under symmetric Jacobi rotations
+// and must surface as an explicit error, not a silent bad basis.
+func TestSymEigNonConvergence(t *testing.T) {
+	a := Matrix{{0, 1}, {-1, 0}}
+	if _, _, err := SymEig(a); err == nil {
+		t.Fatal("want non-convergence error for skew-symmetric input")
 	}
 }

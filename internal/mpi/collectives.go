@@ -3,14 +3,21 @@ package mpi
 import "fmt"
 
 // Collectives are implemented over point-to-point messages with reserved
-// negative tags derived from a per-rank collective sequence number. MPI
-// requires every rank of a communicator to invoke collectives in the same
-// order, so local counters agree across ranks and successive collectives
-// can never cross-match.
+// negative tags derived from the communicator's context id and a per-rank
+// collective sequence number. MPI requires every rank of a communicator to
+// invoke collectives in the same order, so local counters agree across
+// ranks and successive collectives on one communicator can never
+// cross-match; the context id keeps collectives on *different*
+// communicators that share ranks (e.g. a band communicator and the world
+// it was split from) in disjoint tag spaces. Sequence numbers wrap, which
+// is safe because matching is FIFO per (source, tag): a wrapped tag can
+// only collide with a message the receiver must consume first anyway.
 
 // collTag returns the reserved tag for the n-th collective call on this
 // communicator.
-func collTag(seq uint64) int { return -2 - int(seq%(1<<30)) }
+func (c *Comm) collTag(seq uint64) int {
+	return -2 - int(seq%(1<<16)) - int(c.ctx%(1<<31))<<16
+}
 
 // Op is a reduction operator for Reduce/Allreduce.
 type Op int
@@ -50,7 +57,7 @@ func (o Op) apply(dst, src []float64) {
 func (c *Comm) Barrier() {
 	c.enter()
 	defer c.exit()
-	tag := collTag(c.coll)
+	tag := c.collTag(c.coll)
 	c.coll++
 	p := len(c.group)
 	if p == 1 {
@@ -71,7 +78,7 @@ func (c *Comm) Barrier() {
 func (c *Comm) Bcast(root int, buf []float64) {
 	c.enter()
 	defer c.exit()
-	tag := collTag(c.coll)
+	tag := c.collTag(c.coll)
 	c.coll++
 	p := len(c.group)
 	if p == 1 {
@@ -118,7 +125,7 @@ func (c *Comm) Bcast(root int, buf []float64) {
 func (c *Comm) Reduce(root int, op Op, in, out []float64) {
 	c.enter()
 	defer c.exit()
-	tag := collTag(c.coll)
+	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank != root {
 		c.sendInternal(root, tag, in)
@@ -155,7 +162,7 @@ func (c *Comm) Reduce(root int, op Op, in, out []float64) {
 func (c *Comm) ReduceFunc(root int, in, out []float64, merge func(acc, contrib []float64)) {
 	c.enter()
 	defer c.exit()
-	tag := collTag(c.coll)
+	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank != root {
 		c.sendInternal(root, tag, in)
@@ -215,7 +222,7 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 func (c *Comm) Gather(root int, in, out []float64) {
 	c.enter()
 	defer c.exit()
-	tag := collTag(c.coll)
+	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank == root {
 		if len(out) < len(in)*len(c.group) {
@@ -244,12 +251,40 @@ func (c *Comm) Allgather(in, out []float64) {
 
 // Split partitions the communicator by color, ordering the new ranks by
 // key then by old rank (MPI_Comm_split). Every rank must call it; ranks
-// with the same color end up in the same new communicator.
+// with the same color end up in the same new communicator. A negative
+// color plays the role of MPI_UNDEFINED: the rank participates in the
+// exchange but joins no new communicator and receives nil.
+//
+// The child communicator's context id is derived deterministically from
+// (parent context, parent split count, index of the color among the
+// sorted distinct non-negative colors), so every member computes the
+// same id locally and collectives on sibling or nested communicators
+// occupy disjoint tag spaces. The encoding packs 8 bits of split count
+// and 8 bits of color index per level, which is collision-free for the
+// shallow communicator trees the solver stack builds (world -> domain /
+// band -> process-grid row/column).
 func (c *Comm) Split(color, key int) *Comm {
 	// Exchange (color, key) pairs via Allgather.
 	in := []float64{float64(color), float64(key)}
 	out := make([]float64, 2*len(c.group))
 	c.Allgather(in, out)
+	c.splits++
+	if color < 0 {
+		return nil
+	}
+	// Index of my color among the sorted distinct non-negative colors:
+	// every rank sees the same allgathered pairs, so the index — and the
+	// derived context — agree across the new communicator's members.
+	colorIndex := 0
+	seen := map[int]bool{}
+	for r := 0; r < len(c.group); r++ {
+		col := int(out[2*r])
+		if col >= 0 && col < color && !seen[col] {
+			seen[col] = true
+			colorIndex++
+		}
+	}
+	ctx := c.ctx*(1<<16) + (c.splits%(1<<8))*(1<<8) + uint64(colorIndex+1)%(1<<8)
 	type member struct{ color, key, oldRank int }
 	var mine []member
 	for r := 0; r < len(c.group); r++ {
@@ -274,5 +309,5 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	return &Comm{world: c.world, rank: newRank, group: group, active: c.active}
+	return &Comm{world: c.world, rank: newRank, group: group, active: c.active, ctx: ctx}
 }

@@ -164,6 +164,22 @@ type Comm struct {
 
 	active *int32 // concurrent-call detector shared per (world rank)
 	coll   uint64 // per-rank collective sequence number (local, no lock)
+
+	// ctx is the communicator's context id, the analogue of an MPI
+	// context: collective tags fold it in so collectives on different
+	// communicators sharing ranks (a domain communicator and a band
+	// communicator, a process grid and its row/column sub-communicators)
+	// can never cross-match, even when a fast rank races ahead into a
+	// sibling communicator's collectives. The world communicator has
+	// ctx 0; Split derives children's contexts deterministically, so
+	// every member of a communicator agrees on its ctx without extra
+	// communication.
+	ctx uint64
+	// splits counts Split calls on this communicator. MPI requires all
+	// ranks of a communicator to call Split collectively in the same
+	// order, so the local counter agrees across ranks and feeds the
+	// deterministic child-context derivation.
+	splits uint64
 }
 
 // Rank returns the caller's rank within the communicator.

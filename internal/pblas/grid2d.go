@@ -1,0 +1,69 @@
+// Package pblas is a miniature ScaLAPACK: block-cyclic distributed dense
+// linear algebra over a 2D process grid, built from mpi.Comm.Split
+// row/column sub-communicators. It provides the dense subspace
+// operations the band-parallel eigensolver needs — SUMMA matrix
+// multiplication, blocked right-looking Cholesky, blocked triangular
+// solve / lower-triangular inversion, and a symmetric eigensolver —
+// each bit-identical to its replicated internal/linalg counterpart for
+// every grid shape and block size.
+//
+// Determinism contract: pblas contains no floating-point reduction whose
+// grouping depends on the distribution. The k-dimension of every
+// matrix product and every triangular update is traversed in ascending
+// global order through panel broadcasts, so each output element sees the
+// exact addition sequence of the serial algorithm; gathers move rounded
+// values verbatim (ownership-masked merges, never summation). Where the
+// surrounding solver stack does need cross-rank summation (assembling
+// subspace matrices from per-domain partial dot products), it routes
+// through internal/detsum accumulators merged in rank order — pblas
+// consumes the already-exact results.
+package pblas
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Grid2D is a Pr x Pc process grid over a communicator, with row and
+// column sub-communicators for panel broadcasts. Grid rank r maps to
+// grid coordinate (r/Pc, r%Pc) — row-major, like ScaLAPACK's default.
+type Grid2D struct {
+	Comm   *mpi.Comm
+	Pr, Pc int
+	// Myrow, Mycol are this rank's grid coordinates.
+	Myrow, Mycol int
+	// Row spans my process row; its rank numbering equals the column
+	// coordinate. Col spans my process column; its rank numbering equals
+	// the row coordinate.
+	Row, Col *mpi.Comm
+}
+
+// NewGrid2D builds a pr x pc grid over the communicator (pr*pc must
+// equal its size) and splits the row/column sub-communicators. Every
+// rank of the communicator must call it collectively.
+func NewGrid2D(comm *mpi.Comm, pr, pc int) (*Grid2D, error) {
+	if pr < 1 || pc < 1 || pr*pc != comm.Size() {
+		return nil, fmt.Errorf("pblas: grid %dx%d needs %d ranks, have %d", pr, pc, pr*pc, comm.Size())
+	}
+	r := comm.Rank()
+	g := &Grid2D{Comm: comm, Pr: pr, Pc: pc, Myrow: r / pc, Mycol: r % pc}
+	// Keys order the sub-communicators by the orthogonal coordinate, so
+	// Row rank == Mycol and Col rank == Myrow — panel broadcasts can name
+	// roots by grid coordinate directly.
+	g.Row = comm.Split(g.Myrow, g.Mycol)
+	g.Col = comm.Split(g.Mycol, g.Myrow)
+	return g, nil
+}
+
+// Squarish returns the most square pr x pc factorization of p with
+// pr <= pc — the default grid shape for p ranks.
+func Squarish(p int) (pr, pc int) {
+	pr = 1
+	for d := 2; d*d <= p; d++ {
+		if p%d == 0 {
+			pr = d
+		}
+	}
+	return pr, p / pr
+}
