@@ -30,9 +30,14 @@
 //     them rank-parallel over an MPI Cartesian process grid with halo
 //     exchange through internal/core's overlap protocol, realizing the
 //     paper's four programming approaches at the solver level (per-rank
-//     worker pools inside MPI ranks). Multigrid coarsening follows a
-//     redistribute-or-serialize policy when levels become thinner than
-//     the halo (grid.NewDecompOrFallback). Band parallelization
+//     worker pools inside MPI ranks). No solver path funnels through a
+//     single node: SOR's lexicographic Gauss–Seidel sweep runs as a
+//     pipelined wavefront over the process grid (boundary planes stream
+//     between neighbours mid-sweep, reproducing the serial update order
+//     bit for bit), and multigrid levels too coarse for the full
+//     process grid are redistributed onto shrunken sub-communicator
+//     grids (grid.NewDecompOrFallback shapes + grid.Redistribute) with
+//     the remaining ranks parked until prolongation. Band parallelization
 //     (bands.go) adds the second axis of GPAW's Blue Gene/P scaling: a
 //     bands x domain 2D layout splits the wave-functions across band
 //     groups, subspace matrices assemble by circulating state blocks

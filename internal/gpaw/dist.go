@@ -277,34 +277,10 @@ func (d *Dist) gatherDec(dec *grid.Decomp, local *grid.Grid) *grid.Grid {
 // gather0 is gatherDec over the solver-level decomposition.
 func (d *Dist) gather0(local *grid.Grid) *grid.Grid { return d.gatherDec(d.Decomp, local) }
 
-// scatter0 distributes rank 0's global grid into every rank's local
-// interior (halos are left stale; exchange before reading them).
-func (d *Dist) scatter0(global, local *grid.Grid) {
-	if d.Cart.Rank() == 0 {
-		for r := 1; r < d.Cart.Size(); r++ {
-			rc := d.Decomp.Procs.Coord(r)
-			d.Cart.Send(r, distTag+1, d.Decomp.Scatter(global, rc).InteriorSlice())
-		}
-		local.SetInterior(d.Decomp.Scatter(global, d.coord).InteriorSlice())
-		return
-	}
-	buf := make([]float64, local.Points())
-	d.Cart.Recv(0, distTag+1, buf)
-	local.SetInterior(buf)
-}
-
 // GatherGlobal assembles the global grid on rank 0 (nil elsewhere) —
 // the transport differential tests and external drivers use to compare
 // distributed fields against serial ones.
 func (d *Dist) GatherGlobal(local *grid.Grid) *grid.Grid { return d.gather0(local) }
-
-// bcastGrid replicates rank 0's grid interior to every rank. ranks
-// other than 0 pass a freshly allocated grid of the global extents.
-func (d *Dist) bcastGrid(g *grid.Grid) {
-	buf := g.InteriorSlice()
-	d.Cart.Bcast(0, buf)
-	g.SetInterior(buf)
-}
 
 // --- per-approach wave-function processing -------------------------
 
@@ -393,7 +369,7 @@ func (ps *DistPoisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 		d.pool.Axpy(phi, omega/diag, r)
 	}
 	res := ps.residual(r, phi, b)
-	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: Jacobi did not converge (residual %g)", res/norm0)
+	return ps.MaxIter, res / norm0, errNotConverged("Jacobi", res/norm0)
 }
 
 // SolveCG mirrors the fused conjugate-gradient solver across ranks:
@@ -443,17 +419,19 @@ func (ps *DistPoisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 		d.pool.AxpyScale(p, 1, r, rs/rsold)
 		rsold = rs
 	}
-	return ps.MaxIter, math.Sqrt(rsold) / norm0, fmt.Errorf("gpaw: CG did not converge")
+	return ps.MaxIter, math.Sqrt(rsold) / norm0, errNotConverged("CG", math.Sqrt(rsold)/norm0)
 }
 
-// SolveSOR mirrors Poisson.SolveSOR. The lexicographic Gauss–Seidel
-// sweep's fixed global traversal order is inherently serial, so the
-// sweep itself is serialized: phi is gathered to rank 0, swept with the
-// very same SORSweep kernel, and scattered back — while the residual
-// check, mean removal and norms stay distributed. This is the
-// "serialize" arm of the redistribute-or-serialize policy; it keeps
-// bit-identity at the cost of scalability, which the pipelined
-// wavefront variant (future work, see ROADMAP) would recover.
+// SolveSOR mirrors Poisson.SolveSOR with a pipelined wavefront sweep
+// (see wavefront.go): every rank sweeps its sub-domain plane by plane
+// in the global lexicographic order, receiving updated upstream
+// boundary planes into its halos just before reading them and
+// streaming its own boundaries downstream as each plane completes. No
+// rank gathers the grid; per-iteration communication is the ordinary
+// halo exchange plus the boundary-plane pipeline, both O(surface). The
+// update order — and therefore every bit of every iterate — equals the
+// serial SORSweep's; residual checks, mean removal and norms stay
+// distributed with exact reductions.
 func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, error) {
 	d := ps.D
 	if omega <= 0 || omega >= 2 {
@@ -471,15 +449,13 @@ func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float6
 		phi.Fill(0)
 		return 0, 0, nil
 	}
-	bGlobal := d.gather0(b)
+	wf := newSORWavefront(d, ps.Op)
 	r := grid.NewDims(phi.Dims(), phi.H)
 	for it := 1; it <= ps.MaxIter; it++ {
-		phiGlobal := d.gather0(phi)
-		if d.Cart.Rank() == 0 {
-			fillHalos(phiGlobal, d.BC)
-			ps.Op.SORSweep(phiGlobal, bGlobal, omega)
-		}
-		d.scatter0(phiGlobal, phi)
+		// Pre-sweep exchange: +side and periodic-wrap halos must hold
+		// pre-sweep values, exactly like the serial fillHalos.
+		d.Exchange(phi)
+		wf.sweep(phi, b, omega)
 		if d.BC == Periodic {
 			d.removeMeanDist(phi)
 		}
@@ -489,7 +465,7 @@ func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float6
 		}
 	}
 	res := ps.residual(r, phi, b)
-	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: SOR did not converge (residual %g)", res/norm0)
+	return ps.MaxIter, res / norm0, errNotConverged("SOR", res/norm0)
 }
 
 // HartreePotential mirrors Poisson.HartreePotential on local grids.
@@ -505,27 +481,55 @@ func (ps *DistPoisson) HartreePotential(n *grid.Grid) (*grid.Grid, error) {
 
 // --- distributed multigrid -----------------------------------------
 
-// distMGLevel is one level of the distributed hierarchy. Levels up to
-// serialFrom-1 are distributed (local grids + per-level exchange
-// engine); deeper levels run serialized on rank 0.
+// Redistribution tags: the level-transfer traffic of the V-cycle,
+// disjoint from the gather and wavefront tag ranges above. The same
+// pair serves every shrink boundary — all ranks execute their shared
+// transfers in the same order, so FIFO matching per (source, tag) pairs
+// the k-th send with the k-th receive even across nested levels.
+const (
+	redistDownTag = distTag + 16 // fine residual -> doubled transfer layout
+	redistUpTag   = distTag + 17 // coarse correction -> fine layout
+)
+
+// distMGLevel is one level of the distributed hierarchy. Every level is
+// genuinely distributed: levels whose sub-domains would become thinner
+// than the halo run on a shrunken process grid (a sub-communicator of
+// the surviving ranks) instead of serializing on rank 0.
 type distMGLevel struct {
 	op   *stencil.Operator
 	h    float64
 	dims topology.Dims // global extents of this level
 
-	dec           *grid.Decomp
-	eng           *core.Engine
-	phi, rhs, res *grid.Grid // local scratch (distributed levels only)
+	procs  topology.Dims // process grid of this level
+	comm   *mpi.Comm     // communicator of the level's active ranks (nil on parked ranks)
+	cart   *mpi.Cart
+	dec    *grid.Decomp
+	eng    *core.Engine
+	active bool // whether this rank holds data at this level
+
+	phi, rhs, res *grid.Grid // local scratch (active ranks only)
+
+	// Shrink-transfer machinery, set when this level's process grid
+	// differs from the parent's (fewer ranks, or re-split for
+	// alignment). The parent's active ranks redistribute the residual
+	// into xferDec — the parent extents over THIS level's process grid
+	// with splits doubled from dec, so restriction and prolongation stay
+	// rank-local — and bring the correction back the same way.
+	shrunk   bool
+	xferDec  *grid.Decomp
+	xfer     *grid.Grid       // local scratch in xferDec layout (active ranks only)
+	down, up *grid.RedistPlan // parent layout <-> transfer layout (parent-active ranks)
 }
 
 // DistMultigrid is the rank-parallel geometric V-cycle. Coarsening
 // halves every extent; when a level's sub-domains would become thinner
-// than the halo (grid.NewDecompOrFallback reports a fallback) or the
-// fine/coarse splits stop aligning for local transfer, the hierarchy
-// redistributes that level and everything below it onto rank 0 and
-// continues with the serial Multigrid machinery — the
-// redistribute-or-serialize policy. All-level arithmetic matches the
-// serial solver bitwise.
+// than the halo (grid.NewDecompOrFallback shrinks the process grid) or
+// the fine/coarse splits stop aligning for local transfer, the level is
+// redistributed onto the surviving ranks' sub-communicator
+// (mpi.Comm.Split + grid.RedistPlan) and the V-cycle continues there
+// while the remaining ranks park at the blocking return transfer until
+// prolongation. No level ever funnels through rank 0. All-level
+// arithmetic matches the serial solver bitwise.
 type DistMultigrid struct {
 	D          *Dist
 	Tol        float64
@@ -534,13 +538,13 @@ type DistMultigrid struct {
 	PostSmooth int
 
 	levels     []*distMGLevel
-	serialFrom int        // first serialized level; len(levels) when fully distributed
-	tail       *Multigrid // rank-0 serial mirror for levels >= serialFrom
+	shrunkFrom int // first level on a smaller/re-split process grid; len(levels) if none
 }
 
 // splitsAligned reports whether every rank's fine split is exactly
 // twice its coarse split in every dimension — the condition for
-// restriction/prolongation to stay rank-local.
+// restriction/prolongation to stay rank-local without a transfer
+// layout.
 func splitsAligned(fine, coarse, procs topology.Dims) bool {
 	for dim := 0; dim < 3; dim++ {
 		for r := 0; r < procs[dim]; r++ {
@@ -556,6 +560,8 @@ func splitsAligned(fine, coarse, procs topology.Dims) bool {
 
 // NewDistMultigrid builds the distributed hierarchy for the Dist's
 // global grid at spacing h, mirroring NewMultigrid's level structure.
+// Every rank of the Dist's domain communicator must call it (the level
+// sub-communicators are built collectively).
 func NewDistMultigrid(d *Dist, h float64) (*DistMultigrid, error) {
 	mg := &DistMultigrid{D: d, Tol: 1e-8, MaxCycles: 60, PreSmooth: 3, PostSmooth: 3}
 	dims := d.Decomp.Global
@@ -574,43 +580,72 @@ func NewDistMultigrid(d *Dist, h float64) (*DistMultigrid, error) {
 	if len(mg.levels) < 2 {
 		return nil, fmt.Errorf("gpaw: grid %v too small or odd for multigrid", d.Decomp.Global)
 	}
-	// Decide how deep the distribution reaches.
-	procs := d.Decomp.Procs
 	halo := d.Decomp.Halo
 	periodic := d.BC == Periodic
-	mg.serialFrom = len(mg.levels)
+	mg.shrunkFrom = len(mg.levels)
 	for l, lv := range mg.levels {
-		if l > 0 {
-			dec, used, fell, err := grid.NewDecompOrFallback(lv.dims, procs, halo)
-			if err != nil || fell || used != procs ||
-				!splitsAligned(mg.levels[l-1].dims, lv.dims, procs) {
-				mg.serialFrom = l
-				break
-			}
-			lv.dec = dec
+		if l == 0 {
+			lv.procs, lv.dec = d.Decomp.Procs, d.Decomp
+			lv.comm, lv.cart = d.Cart.Comm, d.Cart
+			lv.active = true
 		} else {
-			lv.dec = d.Decomp
+			prev := mg.levels[l-1]
+			// The level's process grid is a pure function of (dims,
+			// parent grid, halo): every rank — parked ones included —
+			// derives the same chain without communication.
+			dec, used, _, err := grid.NewDecompOrFallback(lv.dims, prev.procs, halo)
+			if err != nil {
+				return nil, err
+			}
+			lv.procs = used
+			if used == prev.procs && splitsAligned(prev.dims, lv.dims, used) {
+				if !prev.active {
+					continue
+				}
+				lv.dec = dec
+				lv.comm, lv.cart = prev.comm, prev.cart
+				lv.active = true
+			} else {
+				lv.shrunk = true
+				if l < mg.shrunkFrom {
+					mg.shrunkFrom = l
+				}
+				lv.xferDec = dec.Doubled(0)
+				if !prev.active {
+					continue
+				}
+				// Collective over the parent level's communicator: its
+				// first used.Count() ranks survive onto this level,
+				// keeping their rank numbers (Split ordered by old
+				// rank), so the coarse Cartesian coordinates are the
+				// row-major coordinates of the same ranks.
+				color := -1
+				if prev.comm.Rank() < used.Count() {
+					color = 0
+				}
+				sub := prev.comm.Split(color, prev.comm.Rank())
+				lv.down = grid.NewRedistPlan(prev.comm.Rank(), prev.dec, lv.xferDec)
+				lv.up = grid.NewRedistPlan(prev.comm.Rank(), lv.xferDec, prev.dec)
+				if sub == nil {
+					continue // this rank parks at the l-1 -> l boundary
+				}
+				lv.dec = dec
+				lv.comm = sub
+				lv.cart = sub.CartCreate(used, [3]bool{periodic, periodic, periodic}, true)
+				lv.active = true
+				lv.xfer = grid.NewDims(lv.xferDec.LocalDims(used.Coord(sub.Rank())), 0)
+			}
 		}
-		eng, err := core.NewEngine(d.Cart, lv.dec, lv.op, periodic,
+		eng, err := core.NewEngine(lv.cart, lv.dec, lv.op, periodic,
 			core.Options{Exchange: core.ExchangeAsync, BatchSize: 1, Threads: 1})
 		if err != nil {
 			return nil, err
 		}
 		lv.eng = eng
-		c := lv.dec.LocalDims(d.coord)
+		c := lv.dec.LocalDims(lv.cart.Coords(lv.cart.Rank()))
 		lv.phi = grid.NewDims(c, halo)
 		lv.rhs = grid.NewDims(c, halo)
 		lv.res = grid.NewDims(c, halo)
-	}
-	if mg.serialFrom == 0 {
-		return nil, fmt.Errorf("gpaw: top multigrid level not decomposable over %v", procs)
-	}
-	if mg.serialFrom < len(mg.levels) && d.Cart.Rank() == 0 {
-		tail, err := NewMultigrid(d.Decomp.Global, h, d.BC)
-		if err != nil {
-			return nil, err
-		}
-		mg.tail = tail
 	}
 	return mg, nil
 }
@@ -619,8 +654,17 @@ func NewDistMultigrid(d *Dist, h float64) (*DistMultigrid, error) {
 func (mg *DistMultigrid) Levels() int { return len(mg.levels) }
 
 // SerializedFrom returns the first level index that runs serialized on
-// rank 0 (== Levels() when the whole hierarchy is distributed).
-func (mg *DistMultigrid) SerializedFrom() int { return mg.serialFrom }
+// a single gathered copy of the grid. Since level redistribution, no
+// level does — coarse levels run distributed on shrunken process grids
+// — so it always equals Levels(). It is kept so callers (and the
+// regression tests) can assert the absence of the old rank-0 arm.
+func (mg *DistMultigrid) SerializedFrom() int { return len(mg.levels) }
+
+// ShrunkFrom returns the first level index that runs on a process grid
+// different from the solver's — redistributed onto fewer ranks (or
+// re-split for transfer alignment) with the remaining ranks parked —
+// or Levels() when every level keeps the full process grid.
+func (mg *DistMultigrid) ShrunkFrom() int { return mg.shrunkFrom }
 
 // smooth runs n damped Jacobi sweeps on a distributed level, ping-pong
 // through lv.res exactly like the serial smoother.
@@ -647,25 +691,8 @@ func (mg *DistMultigrid) residualInto(lv *distMGLevel, res, phi, rhs *grid.Grid,
 	lv.op.ApplyResidualAcc(mg.D.pool, res, rhs, phi, acc)
 }
 
-// prolongFromGlobal adds the piecewise-constant interpolation of a
-// replicated global coarse grid onto the local fine grid — the same
-// additions the serial prolongInto performs at these global indices.
-func prolongFromGlobal(coarse, fine *grid.Grid, off topology.Coord) {
-	d := fine.Dims()
-	fd := fine.Data()
-	for i := 0; i < d[0]; i++ {
-		for j := 0; j < d[1]; j++ {
-			frow := fine.Index(i, j, 0)
-			crow := coarse.Index((off[0]+i)/2, (off[1]+j)/2, 0)
-			for k := 0; k < d[2]; k++ {
-				fd[frow+k] += coarse.Data()[crow+(off[2]+k)/2]
-			}
-		}
-	}
-	grid.NoteTraffic(2*fine.Points(), 1)
-}
-
-// vcycle performs one distributed V-cycle from level l.
+// vcycle performs one distributed V-cycle from level l. It is entered
+// only by ranks active at level l.
 func (mg *DistMultigrid) vcycle(l int, phi, rhs *grid.Grid) {
 	d := mg.D
 	lv := mg.levels[l]
@@ -677,21 +704,24 @@ func (mg *DistMultigrid) vcycle(l int, phi, rhs *grid.Grid) {
 	var discard detsum.Acc
 	mg.residualInto(lv, lv.res, phi, rhs, &discard)
 	next := mg.levels[l+1]
-	if l+1 == mg.serialFrom {
-		// Redistribute-or-serialize: levels below run on rank 0's serial
-		// mirror; the coarse correction is broadcast back and prolonged
-		// locally.
-		resGlobal := d.gatherDec(lv.dec, lv.res)
-		coarse := grid.NewDims(next.dims, d.Decomp.Halo)
-		if d.Cart.Rank() == 0 {
-			sl := mg.tail.levels[l+1]
-			restrictFull(mg.tail.Pool, resGlobal, sl.rhs)
-			sl.phi.Zero()
-			mg.tail.vcycle(l+1, sl.phi, sl.rhs)
-			coarse = sl.phi
+	if next.shrunk {
+		// Level redistribution: move the residual into the doubled
+		// transfer layout of the surviving ranks, restrict and recurse
+		// on their sub-communicator, and bring the correction back.
+		// Ranks outside the shrunken grid send their residual pieces and
+		// park on the return transfer's blocking receives until the
+		// coarse correction arrives.
+		next.down.Run(lv.comm, lv.res, next.xfer, redistDownTag)
+		if next.active {
+			restrictFull(d.pool, next.xfer, next.rhs)
+			next.phi.Zero()
+			mg.vcycle(l+1, next.phi, next.rhs)
+			prolongSet(d.pool, next.phi, next.xfer)
 		}
-		d.bcastGrid(coarse)
-		prolongFromGlobal(coarse, phi, lv.dec.Offset(d.coord))
+		next.up.Run(lv.comm, next.xfer, lv.res, redistUpTag)
+		// phi += correction: the addend is bit-identical to the coarse
+		// value the serial prolongInto adds at the same global index.
+		d.pool.Axpy(phi, 1, lv.res)
 	} else {
 		restrictFull(d.pool, lv.res, next.rhs)
 		next.phi.Zero()
@@ -729,7 +759,7 @@ func (mg *DistMultigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
 		}
 	}
 	rel := relNorm()
-	return mg.MaxCycles, rel, fmt.Errorf("gpaw: multigrid did not converge (residual %g)", rel)
+	return mg.MaxCycles, rel, errNotConverged("multigrid", rel)
 }
 
 // --- distributed Hamiltonian / eigensolver -------------------------
@@ -812,6 +842,7 @@ func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
 	for i := range prev {
 		prev[i] = math.Inf(1)
 	}
+	lastDelta := math.Inf(1)
 	for it := 1; it <= es.MaxIter; it++ {
 		// Damped power step psi <- psi - tau*H*psi for this group's
 		// states, one fused sweep each behind the approach's exchange
@@ -834,11 +865,12 @@ func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
 			}
 			prev[i] = e
 		}
+		lastDelta = maxd
 		if maxd < es.Tol {
 			return eig, nil
 		}
 	}
-	return prev, fmt.Errorf("gpaw: eigensolver did not converge in %d iterations", es.MaxIter)
+	return prev, errEigenNotConverged(es.MaxIter, lastDelta)
 }
 
 // --- distributed SCF -----------------------------------------------

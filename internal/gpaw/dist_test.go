@@ -1,16 +1,19 @@
 package gpaw
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/stencil"
 	"repro/internal/topology"
 )
 
@@ -190,38 +193,84 @@ func TestDistPoissonJacobiDifferential(t *testing.T) {
 	}
 }
 
-// TestDistPoissonSORDifferential: the serialized-sweep SOR keeps the
-// exact lexicographic traversal, so iterates match bitwise.
+// TestDistPoissonSORDifferential: the pipelined wavefront sweep
+// reproduces the serial lexicographic traversal point for point, so
+// iterates match bitwise — for every rank count, layout, approach and
+// boundary condition, with no rank-0 gather anywhere in the loop.
 func TestDistPoissonSORDifferential(t *testing.T) {
-	global := topology.Dims{12, 12, 12}
+	global := topology.Dims{16, 16, 16}
 	h := 0.4
 	rhs := poissonRHS(global)
-	ps := NewPoisson(h, Dirichlet)
-	ps.Tol = 1e-6
-	wantPhi := grid.NewDims(global, 2)
-	wantIt, wantRes, err := ps.SolveSOR(wantPhi, rhs, 1.6)
-	if err != nil {
-		t.Fatal(err)
+	for _, bc := range []Boundary{Dirichlet, Periodic} {
+		ps := NewPoisson(h, bc)
+		ps.Tol = 1e-6
+		wantPhi := grid.NewDims(global, 2)
+		wantIt, wantRes, err := ps.SolveSOR(wantPhi, rhs, 1.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rankCounts(t) {
+			for _, procs := range layoutsFor(p) {
+				if !feasible(global, procs, 2) {
+					continue
+				}
+				for _, a := range core.Approaches {
+					runDist(t, global, procs, bc, a, func(d *Dist) {
+						dps := NewDistPoisson(d, h)
+						dps.Tol = 1e-6
+						phi := d.NewLocalGrid()
+						it, res, err := dps.SolveSOR(phi, d.ScatterReplicated(rhs), 1.6)
+						if err != nil {
+							panic(err)
+						}
+						if it != wantIt || res != wantRes {
+							t.Errorf("%v SOR procs %v approach %v: (it,res)=(%d,%.17g), serial (%d,%.17g)",
+								bc, procs, a, it, res, wantIt, wantRes)
+						}
+						checkIdentical(t, d, phi, wantPhi, "SOR "+bc.String(), procs, a)
+					})
+				}
+			}
+		}
 	}
-	for _, procs := range []topology.Dims{{1, 1, 2}, {2, 2, 1}, {1, 4, 1}} {
-		runDist(t, global, procs, Dirichlet, core.FlatOptimized, func(d *Dist) {
-			dps := NewDistPoisson(d, h)
-			dps.Tol = 1e-6
-			phi := d.NewLocalGrid()
-			it, res, err := dps.SolveSOR(phi, d.ScatterReplicated(rhs), 1.6)
-			if err != nil {
-				panic(err)
-			}
-			if it != wantIt || res != wantRes {
-				t.Errorf("SOR procs %v: (it,res)=(%d,%g), serial (%d,%g)", procs, it, res, wantIt, wantRes)
-			}
-			checkIdentical(t, d, phi, wantPhi, "SOR", procs, core.FlatOptimized)
+}
+
+// TestWavefrontSweepMatchesSerial asserts the wavefront at its finest
+// grain: a single pipelined sweep over an asymmetric 3-D process grid
+// must produce exactly the bits of one serial SORSweep — the update
+// ordering proof underneath the solver-level differential tests, under
+// both boundary conditions.
+func TestWavefrontSweepMatchesSerial(t *testing.T) {
+	global := topology.Dims{12, 10, 8}
+	op := stencil.Laplacian(2, 0.5)
+	mkPhi := func() *grid.Grid {
+		g := grid.NewDims(global, 2)
+		g.FillFunc(func(i, j, k int) float64 {
+			return math.Sin(float64(3*i-2*j+k)) + 0.1*float64((i*5+j*3+k*7)%11)
 		})
+		return g
+	}
+	rhs := poissonRHS(global)
+	const omega = 1.5
+	for _, bc := range []Boundary{Dirichlet, Periodic} {
+		want := mkPhi()
+		fillHalos(want, bc)
+		op.SORSweep(want, rhs, omega)
+		for _, procs := range []topology.Dims{{2, 1, 1}, {1, 2, 2}, {2, 2, 2}, {1, 1, 4}, {1, 5, 1}} {
+			runDist(t, global, procs, bc, core.FlatOptimized, func(d *Dist) {
+				phi := d.ScatterReplicated(mkPhi())
+				b := d.ScatterReplicated(rhs)
+				wf := newSORWavefront(d, op)
+				d.Exchange(phi)
+				wf.sweep(phi, b, omega)
+				checkIdentical(t, d, phi, want, "wavefront sweep "+bc.String(), procs, core.FlatOptimized)
+			})
+		}
 	}
 }
 
 // TestDistMultigridDifferential: the V-cycle hierarchy — including the
-// redistribute-or-serialize fallback on coarse levels — must reproduce
+// redistribution of coarse levels onto shrunken grids — must reproduce
 // the serial multigrid bitwise.
 func TestDistMultigridDifferential(t *testing.T) {
 	global := topology.Dims{16, 16, 16}
@@ -237,9 +286,10 @@ func TestDistMultigridDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// (4,1,1): levels 16->8 stay distributed and aligned, 4^3 falls
-		// back and serializes. (1,1,8): serializes from the first
-		// coarsening. (2,2,1): fully distributed until the 4^3 level.
+		// (4,1,1): levels 16->8 stay on the full grid and aligned, 4^3
+		// redistributes onto (2,1,1) with ranks 2-3 parked. (1,1,8):
+		// shrinks from the first coarsening, twice ((1,1,4) then
+		// (1,1,2)). (2,2,1): full process grid at every level.
 		for _, procs := range []topology.Dims{{1, 1, 1}, {2, 1, 1}, {1, 1, 2}, {2, 2, 1}, {4, 1, 1}, {1, 1, 8}} {
 			for _, a := range []core.Approach{core.FlatOptimized, core.HybridMasterOnly} {
 				runDist(t, global, procs, bc, a, func(d *Dist) {
@@ -263,18 +313,22 @@ func TestDistMultigridDifferential(t *testing.T) {
 	}
 }
 
-// TestDistMultigridSerializesDeepLevels pins the fallback decision
-// itself: over (4,1,1) the 16^3 hierarchy must serialize exactly at the
-// 4^3 level, and over (1,1,8) at the first coarsening.
-func TestDistMultigridSerializesDeepLevels(t *testing.T) {
+// TestDistMultigridShrinksDeepLevels pins the redistribution decision:
+// hierarchies whose coarse levels cannot host the full process grid
+// shrink onto sub-communicators at exactly the predicted level — and
+// never serialize. The SerializedFrom() == Levels() assertion is the
+// regression guard for the removed rank-0 arm: a shrinkable hierarchy
+// must report the whole hierarchy as distributed.
+func TestDistMultigridShrinksDeepLevels(t *testing.T) {
 	global := topology.Dims{16, 16, 16}
 	cases := []struct {
 		procs topology.Dims
 		from  int
 	}{
-		{topology.Dims{1, 1, 1}, 3}, // fully distributed (trivially)
-		{topology.Dims{4, 1, 1}, 2}, // 16,8 distributed; 4^3 -> local extent 1 < halo
-		{topology.Dims{1, 1, 8}, 1}, // 8 in z: the 8^3 level already infeasible
+		{topology.Dims{1, 1, 1}, 3}, // trivially full-grid at every level
+		{topology.Dims{2, 2, 1}, 3}, // 4^3 over (2,2,1) stays feasible and aligned
+		{topology.Dims{4, 1, 1}, 2}, // 16,8 full grid; 4^3 -> (2,1,1), ranks 2-3 park
+		{topology.Dims{1, 1, 8}, 1}, // 8^3 already infeasible over 8 -> (1,1,4) -> (1,1,2)
 	}
 	for _, tc := range cases {
 		runDist(t, global, tc.procs, Dirichlet, core.FlatOptimized, func(d *Dist) {
@@ -285,8 +339,12 @@ func TestDistMultigridSerializesDeepLevels(t *testing.T) {
 			if mg.Levels() != 3 {
 				t.Errorf("procs %v: %d levels, want 3", tc.procs, mg.Levels())
 			}
-			if mg.SerializedFrom() != tc.from {
-				t.Errorf("procs %v: serialized from level %d, want %d", tc.procs, mg.SerializedFrom(), tc.from)
+			if mg.SerializedFrom() != mg.Levels() {
+				t.Errorf("procs %v: SerializedFrom %d, want Levels (%d) — no level may serialize",
+					tc.procs, mg.SerializedFrom(), mg.Levels())
+			}
+			if mg.ShrunkFrom() != tc.from {
+				t.Errorf("procs %v: shrunk from level %d, want %d", tc.procs, mg.ShrunkFrom(), tc.from)
 			}
 		})
 	}
@@ -419,6 +477,61 @@ func TestDistEigenDifferential(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSolverErrorsReportResidual: every solver — serial and distributed
+// — reports the final relative residual in its non-convergence error,
+// in one uniform format; the distributed error string must equal the
+// serial one character for character (the residuals are bit-identical).
+func TestSolverErrorsReportResidual(t *testing.T) {
+	global := topology.Dims{12, 12, 12}
+	h := 0.4
+	rhs := poissonRHS(global)
+	wantSub := "did not converge (relative residual "
+	serialErr := func(name string, f func(ps *Poisson, phi *grid.Grid) (int, float64, error)) string {
+		ps := NewPoisson(h, Dirichlet)
+		ps.MaxIter = 2
+		phi := grid.NewDims(global, 2)
+		_, res, err := f(ps, phi)
+		if err == nil {
+			t.Fatalf("%s: expected non-convergence at MaxIter=2", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s error %q lacks %q", name, err.Error(), wantSub)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%g", res)) {
+			t.Errorf("%s error %q does not report returned residual %g", name, err.Error(), res)
+		}
+		return err.Error()
+	}
+	serialErr("Jacobi", func(ps *Poisson, phi *grid.Grid) (int, float64, error) { return ps.SolveJacobi(phi, rhs) })
+	cgMsg := serialErr("CG", func(ps *Poisson, phi *grid.Grid) (int, float64, error) { return ps.SolveCG(phi, rhs) })
+	serialErr("CGReference", func(ps *Poisson, phi *grid.Grid) (int, float64, error) { return ps.SolveCGReference(phi, rhs) })
+	sorMsg := serialErr("SOR", func(ps *Poisson, phi *grid.Grid) (int, float64, error) { return ps.SolveSOR(phi, rhs, 1.6) })
+
+	mgS, err := NewMultigrid(global, h, Dirichlet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgS.MaxCycles = 1
+	mgS.Tol = 1e-14
+	phi := grid.NewDims(global, 2)
+	if _, _, err := mgS.Solve(phi, rhs); err == nil || !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("multigrid error %v lacks %q", err, wantSub)
+	}
+
+	runDist(t, global, topology.Dims{1, 1, 2}, Dirichlet, core.FlatOptimized, func(d *Dist) {
+		dps := NewDistPoisson(d, h)
+		dps.MaxIter = 2
+		lphi := d.NewLocalGrid()
+		if _, _, err := dps.SolveCG(lphi, d.ScatterReplicated(rhs)); err == nil || err.Error() != cgMsg {
+			t.Errorf("distributed CG error %v != serial %q", err, cgMsg)
+		}
+		lphi = d.NewLocalGrid()
+		if _, _, err := dps.SolveSOR(lphi, d.ScatterReplicated(rhs), 1.6); err == nil || err.Error() != sorMsg {
+			t.Errorf("distributed SOR error %v != serial %q", err, sorMsg)
+		}
+	})
 }
 
 // TestDistReductionDeterminism is the deterministic-reduction satellite:

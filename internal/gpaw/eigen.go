@@ -169,6 +169,7 @@ func (es *EigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 	for i := range prev {
 		prev[i] = math.Inf(1)
 	}
+	lastDelta := math.Inf(1)
 	for it := 1; it <= es.MaxIter; it++ {
 		// Damped power step toward the low end of the spectrum,
 		// psi <- psi - tau*H*psi, as one fused sweep per state; the
@@ -191,11 +192,12 @@ func (es *EigenSolver) Solve(psis []*grid.Grid) ([]float64, error) {
 			}
 			prev[i] = e
 		}
+		lastDelta = maxd
 		if maxd < es.Tol {
 			return eig, nil
 		}
 	}
-	return prev, fmt.Errorf("gpaw: eigensolver did not converge in %d iterations", es.MaxIter)
+	return prev, errEigenNotConverged(es.MaxIter, lastDelta)
 }
 
 // guessValue is the deterministic seed field of InitGuess evaluated at

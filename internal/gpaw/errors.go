@@ -1,0 +1,20 @@
+package gpaw
+
+import "fmt"
+
+// errNotConverged is the uniform non-convergence error of the solver
+// stack: every iterative solver — serial or distributed — reports its
+// method name and the final relative residual it reached, so callers
+// can always see how far a failed solve got without re-deriving it.
+// The distributed solvers produce bit-identical residuals to the serial
+// ones, so the error strings match across decompositions too.
+func errNotConverged(method string, rel float64) error {
+	return fmt.Errorf("gpaw: %s did not converge (relative residual %g)", method, rel)
+}
+
+// errEigenNotConverged is the eigensolver variant: its convergence
+// metric is the largest eigenvalue change of the last iteration, which
+// it reports in place of a residual.
+func errEigenNotConverged(iters int, maxDelta float64) error {
+	return fmt.Errorf("gpaw: eigensolver did not converge in %d iterations (max eigenvalue change %g)", iters, maxDelta)
+}

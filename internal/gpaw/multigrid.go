@@ -143,6 +143,30 @@ func prolongInto(p *stencil.Pool, coarse, fine *grid.Grid) {
 	grid.NoteTraffic(2*fine.Points()+coarse.Points(), 1)
 }
 
+// prolongSet writes (rather than adds) the piecewise-constant
+// interpolation of coarse into fine. The distributed multigrid uses it
+// to materialize a coarse correction in the doubled transfer layout
+// before redistributing it; the eventual phi += correction then adds
+// exactly the coarse value prolongInto would have added — same addend,
+// same bits (a zero-fill-then-add would turn a -0 correction into +0).
+func prolongSet(p *stencil.Pool, coarse, fine *grid.Grid) {
+	d := fine.Dims()
+	fd := fine.Data()
+	cd := coarse.Data()
+	p.Exec(d[0], func(_, i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			for j := 0; j < d[1]; j++ {
+				frow := fine.Index(i, j, 0)
+				crow := coarse.Index(i/2, j/2, 0)
+				for k := 0; k < d[2]; k++ {
+					fd[frow+k] = cd[crow+k/2]
+				}
+			}
+		}
+	})
+	grid.NoteTraffic(fine.Points()+coarse.Points(), 1)
+}
+
 // vcycle performs one V-cycle starting at level l for A phi = rhs.
 func (mg *Multigrid) vcycle(l int, phi, rhs *grid.Grid) {
 	lv := mg.levels[l]
@@ -188,5 +212,5 @@ func (mg *Multigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
 		}
 	}
 	rel := math.Sqrt(mg.residualInto(top, top.res, phi, b)) / norm0
-	return mg.MaxCycles, rel, fmt.Errorf("gpaw: multigrid did not converge (residual %g)", rel)
+	return mg.MaxCycles, rel, errNotConverged("multigrid", rel)
 }

@@ -106,7 +106,7 @@ func (ps *Poisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 		ps.Pool.Axpy(phi, omega/diag, r)
 	}
 	res := ps.residual(r, phi, b)
-	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: Jacobi did not converge (residual %g)", res/norm0)
+	return ps.MaxIter, res / norm0, errNotConverged("Jacobi", res/norm0)
 }
 
 // SolveCG runs conjugate gradients on the negated (positive-definite)
@@ -156,7 +156,7 @@ func (ps *Poisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 		ps.Pool.AxpyScale(p, 1, r, rs/rsold) // p = r + beta*p in one sweep
 		rsold = rs
 	}
-	return ps.MaxIter, math.Sqrt(rsold) / norm0, fmt.Errorf("gpaw: CG did not converge")
+	return ps.MaxIter, math.Sqrt(rsold) / norm0, errNotConverged("CG", math.Sqrt(rsold)/norm0)
 }
 
 // SolveCGReference is the unfused conjugate-gradient formulation the
@@ -209,7 +209,7 @@ func (ps *Poisson) SolveCGReference(phi, rhs *grid.Grid) (int, float64, error) {
 		p.Axpy(1, r)
 		rsold = rs
 	}
-	return ps.MaxIter, math.Sqrt(rsold) / norm0, fmt.Errorf("gpaw: CG did not converge")
+	return ps.MaxIter, math.Sqrt(rsold) / norm0, errNotConverged("CG", math.Sqrt(rsold)/norm0)
 }
 
 // SolveSOR runs successive over-relaxation: a Gauss–Seidel sweep with
@@ -247,7 +247,7 @@ func (ps *Poisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, e
 		}
 	}
 	res := ps.residual(r, phi, b)
-	return ps.MaxIter, res / norm0, fmt.Errorf("gpaw: SOR did not converge (residual %g)", res/norm0)
+	return ps.MaxIter, res / norm0, errNotConverged("SOR", res/norm0)
 }
 
 // removeMean subtracts the interior mean (projects out the constant

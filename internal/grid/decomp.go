@@ -14,6 +14,23 @@ type Decomp struct {
 	Global topology.Dims // global grid extents
 	Procs  topology.Dims // process grid extents
 	Halo   int           // halo thickness (stencil radius)
+
+	// starts[d], when non-nil, holds Procs[d]+1 custom split boundaries
+	// for dimension d (starts[d][r] .. starts[d][r+1] is rank-coordinate
+	// r's range). Nil dimensions use the balanced topology.Split. Custom
+	// splits exist for layouts derived from other layouts — Doubled —
+	// where the balanced split of the refined extent would not align
+	// with the coarse one.
+	starts [3][]int
+}
+
+// split returns the start offset and length of coordinate i along
+// dimension d, honouring custom split boundaries when present.
+func (dc *Decomp) split(d, i int) (start, length int) {
+	if s := dc.starts[d]; s != nil {
+		return s[i], s[i+1] - s[i]
+	}
+	return topology.Split(dc.Global[d], dc.Procs[d], i)
 }
 
 // NewDecomp builds a decomposition, validating that every process gets a
@@ -36,15 +53,15 @@ func NewDecomp(global, procs topology.Dims, halo int) (*Decomp, error) {
 	return &Decomp{Global: global, Procs: procs, Halo: halo}, nil
 }
 
-// NewDecompOrFallback is NewDecomp with a redistribute-or-serialize
-// fallback: when the requested process grid would produce sub-domains
-// thinner than the halo — the situation multigrid coarsening creates on
-// every level halving — the process grid is shrunk per dimension to the
-// largest feasible extent (down to 1, i.e. fully serialized in that
-// dimension) instead of erroring. It returns the decomposition, the
-// process grid actually used, and whether a fallback was applied.
-// Ranks outside the fallback grid own no points and must be idled or
-// redistributed by the caller.
+// NewDecompOrFallback is NewDecomp with a shrink fallback: when the
+// requested process grid would produce sub-domains thinner than the
+// halo — the situation multigrid coarsening creates on every level
+// halving — the process grid is shrunk per dimension to the largest
+// feasible extent (down to 1 in that dimension) instead of erroring.
+// It returns the decomposition, the process grid actually used, and
+// whether a fallback was applied. Ranks outside the fallback grid own
+// no points; the multigrid redistributes the level onto the surviving
+// ranks' sub-communicator (Redistribute) and parks the rest.
 func NewDecompOrFallback(global, procs topology.Dims, halo int) (*Decomp, topology.Dims, bool, error) {
 	fell := false
 	used := procs
@@ -85,12 +102,47 @@ func (d *Decomp) NumProcs() int { return d.Procs.Count() }
 
 // LocalDims returns the sub-domain extents of the process at coordinate c.
 func (d *Decomp) LocalDims(c topology.Coord) topology.Dims {
-	return topology.SubdomainSize(d.Global, d.Procs, c)
+	var out topology.Dims
+	for dim := 0; dim < 3; dim++ {
+		_, out[dim] = d.split(dim, c[dim])
+	}
+	return out
 }
 
 // Offset returns the global offset of the sub-domain at coordinate c.
 func (d *Decomp) Offset(c topology.Coord) topology.Coord {
-	return topology.SubdomainOffset(d.Global, d.Procs, c)
+	var out topology.Coord
+	for dim := 0; dim < 3; dim++ {
+		out[dim], _ = d.split(dim, c[dim])
+	}
+	return out
+}
+
+// Doubled returns the decomposition of the twice-refined global grid
+// (every extent doubled) over the same process grid, with every rank's
+// split exactly twice its split here. In that layout a rank's fine
+// sub-domain is precisely the 2x2x2 refinement of its coarse one, so
+// full-weighting restriction and prolongation stay rank-local — the
+// transfer layout the multigrid level redistribution moves residuals
+// into before coarsening onto a shrunken process grid. The result
+// carries the given halo (typically 0: it is a data layout, not an
+// exchange layout).
+func (d *Decomp) Doubled(halo int) *Decomp {
+	out := &Decomp{
+		Global: topology.Dims{2 * d.Global[0], 2 * d.Global[1], 2 * d.Global[2]},
+		Procs:  d.Procs,
+		Halo:   halo,
+	}
+	for dim := 0; dim < 3; dim++ {
+		s := make([]int, d.Procs[dim]+1)
+		for r := 0; r < d.Procs[dim]; r++ {
+			start, _ := d.split(dim, r)
+			s[r] = 2 * start
+		}
+		s[d.Procs[dim]] = out.Global[dim]
+		out.starts[dim] = s
+	}
+	return out
 }
 
 // NewLocal allocates the local grid (with halo) for the process at c.

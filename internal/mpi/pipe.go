@@ -1,0 +1,51 @@
+package mpi
+
+import "fmt"
+
+// Pipe is an ordered point-to-point lane between this rank and one
+// fixed peer: the plumbing of plane-pipelined sweeps, where a rank
+// streams boundary planes to its downstream neighbour as it produces
+// them and the neighbour consumes them in the same order. Matching is
+// FIFO per (source, tag), so the k-th Recv on a pipe always returns the
+// peer's k-th Send — no per-plane tag bookkeeping needed.
+//
+// A pipe with peer ProcNull (the edge of a non-wrapping pipeline) turns
+// every operation into a no-op, so sweep code needs no edge branches.
+type Pipe struct {
+	c    *Comm
+	peer int
+	tag  int
+}
+
+// NewPipe returns a lane to peer using the given (non-negative) tag.
+// Both endpoints must construct their pipes with the same tag, and a
+// tag must not be shared with unordered traffic between the same pair.
+func (c *Comm) NewPipe(peer, tag int) *Pipe {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative pipe tag %d", tag))
+	}
+	return &Pipe{c: c, peer: peer, tag: tag}
+}
+
+// Active reports whether the pipe has a real peer (false for the
+// ProcNull edge lanes), so callers can skip the pack/unpack around a
+// no-op transfer.
+func (p *Pipe) Active() bool { return p.peer != ProcNull }
+
+// Send streams data to the peer (eager, never blocks). No-op on a
+// ProcNull pipe.
+func (p *Pipe) Send(data []float64) {
+	if p.peer == ProcNull {
+		return
+	}
+	p.c.Send(p.peer, p.tag, data)
+}
+
+// Recv blocks until the peer's next in-order message arrives and copies
+// it into buf. No-op on a ProcNull pipe.
+func (p *Pipe) Recv(buf []float64) {
+	if p.peer == ProcNull {
+		return
+	}
+	p.c.Recv(p.peer, p.tag, buf)
+}

@@ -1,0 +1,58 @@
+package mpi
+
+import "testing"
+
+// TestPipeOrdering drives a 4-stage pipeline: each rank receives a
+// sequence of "planes" from upstream, transforms them, and streams them
+// downstream. FIFO per (source, tag) must deliver every plane in order
+// even though all sends are eager and far ahead of the receives.
+func TestPipeOrdering(t *testing.T) {
+	const ranks = 4
+	const planes = 32
+	err := Run(ranks, ThreadSingle, func(c *Comm) {
+		up, dn := c.Rank()-1, c.Rank()+1
+		if up < 0 {
+			up = ProcNull
+		}
+		if dn >= ranks {
+			dn = ProcNull
+		}
+		in := c.NewPipe(up, 7)
+		out := c.NewPipe(dn, 7)
+		buf := make([]float64, 3)
+		for p := 0; p < planes; p++ {
+			if up == ProcNull {
+				buf[0], buf[1], buf[2] = float64(p), float64(p*p), 0
+			} else {
+				in.Recv(buf)
+				if buf[0] != float64(p) {
+					panic("pipe delivered plane out of order")
+				}
+			}
+			buf[2] += float64(c.Rank()) // each stage stamps its work
+			out.Send(buf)
+		}
+		if dn == ProcNull && buf[2] != float64(0+1+2+3) {
+			panic("pipeline lost a stage's contribution")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipeProcNull: edge pipes swallow sends and receives.
+func TestPipeProcNull(t *testing.T) {
+	err := Run(1, ThreadSingle, func(c *Comm) {
+		p := c.NewPipe(ProcNull, 3)
+		p.Send([]float64{1})
+		buf := []float64{42}
+		p.Recv(buf)
+		if buf[0] != 42 {
+			panic("ProcNull pipe wrote the buffer")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
