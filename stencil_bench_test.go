@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/gpaw"
 	"repro/internal/grid"
+	"repro/internal/mpi"
 	"repro/internal/stencil"
 	"repro/internal/topology"
 )
@@ -102,6 +104,61 @@ func BenchmarkCGUnfused(b *testing.B) {
 	}
 }
 
+// wavefrontSOR runs one distributed pipelined-wavefront SOR solve on p
+// in-process ranks and returns the iteration count.
+func wavefrontSOR(p int, global topology.Dims, rhs *grid.Grid, tol float64) (int, error) {
+	procs := topology.DecomposeGrid(p, global)
+	var iters int
+	err := mpi.Run(p, mpi.ThreadSingle, func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, gpaw.DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: gpaw.Dirichlet,
+			Approach: core.FlatOptimized, Batch: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, 0.3)
+		ps.Tol = tol
+		phi := d.NewLocalGrid()
+		it, _, err := ps.SolveSOR(phi, d.ScatterReplicated(rhs), 1.6)
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			iters = it
+		}
+	})
+	return iters, err
+}
+
+// BenchmarkWavefrontSOR measures the pipelined wavefront Gauss-Seidel
+// solver — the sweep that used to gather the whole grid to rank 0 every
+// iteration — across rank counts on the in-process runtime. The iterate
+// sequence is bit-identical at every rank count, so each measurement
+// does exactly the same arithmetic; only the pipeline structure varies.
+func BenchmarkWavefrontSOR(b *testing.B) {
+	global := topology.Dims{32, 32, 32}
+	rhs := benchPoissonProblem32()
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wavefrontSOR(p, global, rhs, 1e-6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchPoissonProblem32 is benchPoissonProblem at 32^3 — the wavefront
+// benchmark's size, small enough to keep the multi-rank matrix quick.
+func benchPoissonProblem32() *grid.Grid {
+	rhs := gpaw.GaussianDensity(topology.Dims{32, 32, 32}, 0.3, 1.2, 1)
+	rhs.Scale(-1)
+	return rhs
+}
+
 // stencilBenchReport is the schema of BENCH_stencil.json.
 type stencilBenchReport struct {
 	Grid            [3]int             `json:"grid"`
@@ -115,6 +172,10 @@ type stencilBenchReport struct {
 	CGPassesPerIterFused   float64 `json:"cg_passes_per_iter_fused"`
 	CGPassesPerIterUnfused float64 `json:"cg_passes_per_iter_unfused"`
 	CGTrafficRatio         float64 `json:"cg_traffic_ratio"`
+	// Pipelined wavefront SOR wall time per rank count (in-process
+	// ranks; informational) and its rank-invariant iteration count.
+	WavefrontSORNs    map[string]float64 `json:"wavefront_sor_ns"`
+	WavefrontSORIters int                `json:"wavefront_sor_iters"`
 }
 
 // timeApply returns the best-of-reps wall time of one application.
@@ -189,6 +250,31 @@ func TestWriteStencilBenchJSON(t *testing.T) {
 
 	if rep.CGTrafficRatio >= 0.75 {
 		t.Fatalf("fused CG moves %.0f%% of unfused traffic, want < 75%%", 100*rep.CGTrafficRatio)
+	}
+
+	// Wavefront SOR across rank counts: wall time is informational, but
+	// the iteration count must not depend on the decomposition (the
+	// sweep is bit-identical to serial at every rank count).
+	rep.WavefrontSORNs = map[string]float64{}
+	wfGlobal := topology.Dims{24, 24, 24}
+	wfRhs := gpaw.GaussianDensity(wfGlobal, 0.3, 1.2, 1)
+	wfRhs.Scale(-1)
+	for _, p := range []int{1, 2, 4} {
+		it, err := wavefrontSOR(p, wfGlobal, wfRhs, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.WavefrontSORIters == 0 {
+			rep.WavefrontSORIters = it
+		} else if it != rep.WavefrontSORIters {
+			t.Fatalf("wavefront SOR at %d ranks took %d iterations, 1 rank took %d — sweep not bit-identical",
+				p, it, rep.WavefrontSORIters)
+		}
+		rep.WavefrontSORNs[fmt.Sprintf("ranks%d", p)] = timeApply(3, func() {
+			if _, err := wavefrontSOR(p, wfGlobal, wfRhs, 1e-6); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 
 	if os.Getenv("BENCH_STENCIL_JSON") != "" {
