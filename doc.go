@@ -9,8 +9,19 @@
 //     double buffering, message batching, and the four programming
 //     approaches (flat original/optimized, hybrid multiple/master-only),
 //     running on a real in-process MPI runtime with bitwise verification.
+//     The exchange is split-phase: StartExchange posts every receive and
+//     send up front and returns an in-flight handle, FinishExchange
+//     completes it — so solvers sweep the halo-free deep interior while
+//     the messages travel and finish the one-radius boundary shell
+//     afterwards (communication/computation overlap, the paper's
+//     headline optimization). Exchange state is pooled on the engine and
+//     requests are recycled into the mpi world, making the steady-state
+//     loop allocation-free (asserted by TestOverlapExchangeZeroAlloc).
 //   - internal/mpi — that runtime: goroutine ranks, MPI matching
-//     semantics, collectives, Cartesian topologies, thread modes.
+//     semantics, collectives, Cartesian topologies, thread modes,
+//     non-blocking requests with Wait/Waitall/Test polling and a
+//     zero-copy fast path that delivers a send straight into an
+//     already-posted receive buffer.
 //   - internal/bgpsim — a calibrated discrete-event model of Blue
 //     Gene/P (Table I constants, torus links, DMA, mesh partitions)
 //     that replays the protocols at up to 16 384 cores and regenerates
@@ -22,7 +33,14 @@
 //     stencil+BLAS-1 kernels (apply-with-dot, residual, smooth, damped
 //     step) that cut the memory passes of a solver iteration roughly in
 //     half, fused single-sweep grid primitives, and a traffic counter
-//     that makes the savings observable (BENCH_stencil.json).
+//     that makes the savings observable (BENCH_stencil.json). Every
+//     fused kernel also comes as a shell-aware Interior/Shell pair
+//     (shell.go): the deep-interior box [R, N-R)³ reads no halo and runs
+//     while the exchange is in flight, the at-most-six-block boundary
+//     shell (two x slabs, two y strips, two z strips) runs after —
+//     covering every point exactly once (fuzz-verified) with reductions
+//     through exact accumulators, so the split is bit-identical to the
+//     full sweep.
 //   - internal/gpaw, internal/linalg — a miniature real-space DFT stack
 //     (Poisson, Kohn–Sham eigensolver, SCF) providing the workload
 //     context GPAW gives the kernel — in two forms: the serial solvers,
@@ -30,7 +48,14 @@
 //     them rank-parallel over an MPI Cartesian process grid with halo
 //     exchange through internal/core's overlap protocol, realizing the
 //     paper's four programming approaches at the solver level (per-rank
-//     worker pools inside MPI ranks). No solver path funnels through a
+//     worker pools inside MPI ranks). The hot iteration loops — Poisson
+//     Jacobi/CG, the multigrid smoother and residual, the eigensolver's
+//     Hamiltonian application including the band-parallel path — run
+//     split-phase in every approach except flat original, which keeps
+//     the serialized exchange as the differential baseline; overlapped
+//     and serialized runs are bit-identical (dist_overlap_test.go
+//     sweeps ranks x approaches x boundaries x threads). No solver path
+//     funnels through a
 //     single node: SOR's lexicographic Gauss–Seidel sweep runs as a
 //     pipelined wavefront over the process grid (boundary planes stream
 //     between neighbours mid-sweep, reproducing the serial update order

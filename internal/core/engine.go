@@ -36,6 +36,15 @@ type Engine struct {
 	// protocol on several pool workers at once.
 	statsMu sync.Mutex
 	stats   Stats
+
+	// scratchMu guards the free pools below. Exchange state (pack/unpack
+	// buffers, request slices, batch lists) is hoisted onto the engine
+	// and recycled across protocol invocations, so the steady state of
+	// every exchange loop — blocking and split-phase alike — performs no
+	// per-iteration allocation.
+	scratchMu    sync.Mutex
+	scratchFree  []*applyScratch
+	inflightFree []*InFlightExchange
 }
 
 // Stats accumulates per-rank communication accounting.
@@ -149,7 +158,13 @@ func MakeBatches(n, size int, ramp bool) []Batch {
 	if n == 0 {
 		return nil
 	}
-	var out []Batch
+	return appendBatches(nil, n, size, ramp)
+}
+
+// appendBatches is MakeBatches appending into a reusable slice, so the
+// per-iteration protocol loops build their batch lists without
+// allocating once the slice has grown to its steady-state capacity.
+func appendBatches(out []Batch, n, size int, ramp bool) []Batch {
 	lo := 0
 	if ramp && size > 1 {
 		if first := (size + 1) / 2; first < n {
@@ -175,6 +190,38 @@ type exchangeState struct {
 	recv [3][2][]float64
 	reqs []*mpi.Request
 	b    Batch
+}
+
+// applyScratch is the reusable state of one protocol invocation: the
+// batch list and the two exchange states the double buffer ping-pongs
+// between. Scratches are pooled on the engine (getScratch/putScratch),
+// so their buffers persist across solver iterations.
+type applyScratch struct {
+	batches []Batch
+	states  [2]exchangeState
+}
+
+// getScratch pops a pooled scratch or allocates one. Hybrid multiple
+// runs several protocol invocations concurrently, so the pool is
+// mutex-guarded; each invocation owns its scratch exclusively.
+func (e *Engine) getScratch() *applyScratch {
+	e.scratchMu.Lock()
+	if n := len(e.scratchFree); n > 0 {
+		sc := e.scratchFree[n-1]
+		e.scratchFree[n-1] = nil
+		e.scratchFree = e.scratchFree[:n-1]
+		e.scratchMu.Unlock()
+		return sc
+	}
+	e.scratchMu.Unlock()
+	return &applyScratch{}
+}
+
+// putScratch returns a scratch (and its grown buffers) to the pool.
+func (e *Engine) putScratch(sc *applyScratch) {
+	e.scratchMu.Lock()
+	e.scratchFree = append(e.scratchFree, sc)
+	e.scratchMu.Unlock()
 }
 
 // faceTag builds the message tag for the halo of (dim, side) of batch
@@ -222,18 +269,24 @@ func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim i
 		for gi := st.b.Lo; gi < st.b.Hi; gi++ {
 			pos += src[gi].PackFace(dim, side, e.op.R, buf[pos:])
 		}
-		// My (dim, side) face fills the neighbour's opposite halo.
+		// My (dim, side) face fills the neighbour's opposite halo. Send
+		// rather than Isend: the eager transport completes a buffered
+		// send immediately either way, and skipping the request object
+		// keeps the steady-state loop allocation-free.
 		tag := faceTag(tagBase, bi, dim, side.Opposite())
-		e.cart.Isend(e.nbr[dim][side], tag, buf)
+		e.cart.Send(e.nbr[dim][side], tag, buf)
 		e.noteSent(int64(len(buf) * 8))
 	}
 }
 
 // finishExchange waits for the batch's transfers and installs received
-// surface points into the grids' halos.
+// surface points into the grids' halos. Completed receive requests are
+// reclaimed into the world pool for reuse by the next batch.
 func (e *Engine) finishExchange(st *exchangeState, src []*grid.Grid) {
-	mpi.Waitall(st.reqs)
+	mpi.Waitall(st.reqs...)
 	e.unpack(st, src)
+	mpi.Reclaim(st.reqs...)
+	st.reqs = st.reqs[:0]
 }
 
 // unpack copies every received face buffer into the halos of the batch.
@@ -264,7 +317,8 @@ func (e *Engine) exchangeSerialized(st *exchangeState, src []*grid.Grid, tagBase
 	for dim := 0; dim < 3; dim++ {
 		st.reqs = st.reqs[:0]
 		e.postDim(st, src, tagBase, bi, dim)
-		mpi.Waitall(st.reqs)
+		mpi.Waitall(st.reqs...)
+		mpi.Reclaim(st.reqs...)
 		// Install this dimension's halos before the next dimension runs
 		// (the serialized pattern's defining property).
 		faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
@@ -290,44 +344,62 @@ func (e *Engine) computeBatch(dst, src []*grid.Grid, b Batch) {
 	}
 }
 
-// applyGrids runs the configured protocol over one thread's share of the
-// grids. tagBase keeps concurrent threads' messages disjoint.
-func (e *Engine) applyGrids(dst, src []*grid.Grid, tagBase int, compute func(dst, src []*grid.Grid, b Batch)) {
-	if len(dst) != len(src) {
-		panic("core: dst/src length mismatch")
-	}
+// runBatchesSplit is the engine's one protocol loop. It runs the
+// configured exchange (serialized or async, batched, double-buffered)
+// over one thread's share of the grids and invokes, per batch, the
+// split-phase compute pair:
+//
+//   - interior(b) runs while the batch's halo messages are still in
+//     flight — it may touch every point that does not read a halo
+//     (the paper's communication/computation overlap);
+//   - shell(b) runs after the batch's halos are installed.
+//
+// A nil interior degrades to the original finish-then-compute protocol
+// with shell as the whole computation. In serialized mode (the flat
+// original baseline) there is no non-blocking window, so interior and
+// shell both run after the blocking exchange. tagBase keeps concurrent
+// threads' messages disjoint.
+func (e *Engine) runBatchesSplit(src []*grid.Grid, tagBase int, interior, shell func(b Batch)) {
 	if len(src) == 0 {
 		return
 	}
-	if compute == nil {
-		compute = e.computeBatch
-	}
-	batches := MakeBatches(len(src), e.opts.BatchSize, e.opts.BatchRamp)
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	sc.batches = appendBatches(sc.batches[:0], len(src), e.opts.BatchSize, e.opts.BatchRamp)
+	batches := sc.batches
 
 	if e.opts.Exchange == ExchangeSerialized {
-		st := &exchangeState{}
+		st := &sc.states[0]
 		for bi, b := range batches {
 			st.b = b
 			e.exchangeSerialized(st, src, tagBase, bi)
-			compute(dst, src, b)
+			if interior != nil {
+				interior(b)
+			}
+			shell(b)
 		}
 		return
 	}
 
 	if !e.opts.DoubleBuffer {
-		st := &exchangeState{}
+		st := &sc.states[0]
 		for bi, b := range batches {
 			st.b = b
 			e.startExchange(st, src, tagBase, bi)
+			if interior != nil {
+				interior(b)
+			}
 			e.finishExchange(st, src)
-			compute(dst, src, b)
+			shell(b)
 		}
 		return
 	}
 
 	// Double buffering (section V): keep the next batch's exchange in
-	// flight while computing the current one.
-	states := [2]*exchangeState{{}, {}}
+	// flight while computing the current one. Combined with the split
+	// phases, batch b's interior work hides both its own messages and
+	// the posting latency of batch b+1.
+	states := [2]*exchangeState{&sc.states[0], &sc.states[1]}
 	states[0].b = batches[0]
 	e.startExchange(states[0], src, tagBase, 0)
 	for bi := range batches {
@@ -337,9 +409,25 @@ func (e *Engine) applyGrids(dst, src []*grid.Grid, tagBase int, compute func(dst
 			nxt.b = batches[bi+1]
 			e.startExchange(nxt, src, tagBase, bi+1)
 		}
+		if interior != nil {
+			interior(cur.b)
+		}
 		e.finishExchange(cur, src)
-		compute(dst, src, cur.b)
+		shell(cur.b)
 	}
+}
+
+// applyGrids runs the configured protocol over one thread's share of the
+// grids with the whole computation after each batch's halos are
+// installed. tagBase keeps concurrent threads' messages disjoint.
+func (e *Engine) applyGrids(dst, src []*grid.Grid, tagBase int, compute func(dst, src []*grid.Grid, b Batch)) {
+	if len(dst) != len(src) {
+		panic("core: dst/src length mismatch")
+	}
+	if compute == nil {
+		compute = e.computeBatch
+	}
+	e.runBatchesSplit(src, tagBase, nil, func(b Batch) { compute(dst, src, b) })
 }
 
 // tagStride returns the tag-space width reserved per thread for n grids.
@@ -425,6 +513,145 @@ func (e *Engine) RunBatchesHybridMultiple(src []*grid.Grid, compute func(b Batch
 // never read them, matching GPAW.
 func (e *Engine) Exchange(grids []*grid.Grid) {
 	e.RunBatches(grids, func(Batch) {})
+}
+
+// --- split-phase halo exchange --------------------------------------
+
+// overlapTagBase is the tag space of StartExchange handles, disjoint
+// from the per-thread tag spaces of the batched protocols (w*tagStride
+// stays far below it for realistic grid and thread counts) and from the
+// solver layer's gather/redistribution tags (1<<24 and above).
+const overlapTagBase = 1 << 22
+
+// InFlightExchange is the handle of one split-phase halo exchange:
+// StartExchange posts the non-blocking receives and sends and returns
+// immediately; the caller computes every point that does not read a
+// halo while the messages travel, then calls FinishExchange (or
+// Finish), which waits for the transfers, installs the halos and
+// recycles the handle. A handle must be finished exactly once and not
+// touched afterwards — the engine hands the object out again.
+type InFlightExchange struct {
+	e     *Engine
+	st    exchangeState
+	grids []*grid.Grid
+	done  bool
+	// released marks the handle as returned to the pool; finishing a
+	// handle twice would double-insert it and hand the same object to
+	// two later exchanges, so Finish panics instead.
+	released bool
+}
+
+// getInflight pops a pooled handle or allocates one, so the
+// start/finish pair is allocation-free in steady state.
+func (e *Engine) getInflight() *InFlightExchange {
+	e.scratchMu.Lock()
+	if n := len(e.inflightFree); n > 0 {
+		h := e.inflightFree[n-1]
+		e.inflightFree[n-1] = nil
+		e.inflightFree = e.inflightFree[:n-1]
+		e.scratchMu.Unlock()
+		h.done = false
+		h.released = false
+		return h
+	}
+	e.scratchMu.Unlock()
+	return &InFlightExchange{e: e}
+}
+
+// StartExchange begins a split-phase halo exchange of the given grids:
+// the receives for every face are posted and the surface points of all
+// three dimensions are packed and sent at once (the section-V
+// asynchronous pattern), all grids in a single batch. With serialized
+// options (the flat original baseline has no non-blocking window) the
+// exchange completes before returning and Finish is a no-op, so callers
+// can use the split-phase form unconditionally.
+//
+// The caller keeps ownership of the grids slice; the handle copies it.
+// Between Start and Finish the grids' interiors may be read and other
+// grids written, but the exchanged grids' halos are undefined.
+func (e *Engine) StartExchange(grids []*grid.Grid) *InFlightExchange {
+	h := e.getInflight()
+	h.grids = append(h.grids[:0], grids...)
+	h.st.b = Batch{0, len(grids)}
+	if len(grids) == 0 {
+		h.done = true
+		return h
+	}
+	if e.opts.Exchange == ExchangeSerialized {
+		e.exchangeSerialized(&h.st, h.grids, overlapTagBase, 0)
+		h.done = true
+		return h
+	}
+	e.startExchange(&h.st, h.grids, overlapTagBase, 0)
+	return h
+}
+
+// Finish completes the exchange: waits for all transfers, installs the
+// received surface points into the grids' halos and recycles the
+// handle. Finishing a handle twice panics.
+func (h *InFlightExchange) Finish() {
+	if h.released {
+		panic("core: InFlightExchange finished twice")
+	}
+	if !h.done {
+		h.e.finishExchange(&h.st, h.grids)
+		h.done = true
+	}
+	h.released = true
+	// Drop the grid references before pooling so a parked handle does
+	// not pin the last exchange's grids alive.
+	clear(h.grids)
+	h.grids = h.grids[:0]
+	e := h.e
+	e.scratchMu.Lock()
+	e.inflightFree = append(e.inflightFree, h)
+	e.scratchMu.Unlock()
+}
+
+// Test reports whether every transfer of the exchange has already
+// completed, without blocking — Finish would not wait.
+func (h *InFlightExchange) Test() bool {
+	return h.done || mpi.Testall(h.st.reqs...)
+}
+
+// FinishExchange is Finish as an engine method, for symmetry with
+// StartExchange.
+func (e *Engine) FinishExchange(h *InFlightExchange) { h.Finish() }
+
+// RunBatchesSplit executes the engine's configured exchange protocol
+// over src on the calling goroutine with split-phase compute: for each
+// batch, interior(b) runs while the batch's halo messages are in
+// flight (it must not read halos), then the exchange completes and
+// shell(b) runs over the halo-reading remainder. It is the overlapped
+// sibling of RunBatches; with serialized options both callbacks run
+// after the blocking exchange.
+func (e *Engine) RunBatchesSplit(src []*grid.Grid, interior, shell func(b Batch)) {
+	e.runBatchesSplit(src, 0, interior, shell)
+}
+
+// RunBatchesSplitHybridMultiple divides src across the engine's worker
+// pool; each worker runs the full split-phase protocol — including its
+// own communication — on its share, with batch indices into the full
+// src slice. The world must be in MULTIPLE thread mode. Without a pool
+// it degrades to RunBatchesSplit.
+func (e *Engine) RunBatchesSplitHybridMultiple(src []*grid.Grid, interior, shell func(b Batch)) {
+	if e.pool == nil {
+		e.RunBatchesSplit(src, interior, shell)
+		return
+	}
+	if e.cart.World().Mode() != mpi.ThreadMultiple {
+		panic("core: hybrid multiple requires a MULTIPLE-mode world")
+	}
+	stride := tagStride(len(src))
+	e.pool.Exec(len(src), func(w, lo, hi int) {
+		shifted := func(f func(b Batch)) func(b Batch) {
+			if f == nil {
+				return nil // preserve runBatchesSplit's nil-interior degrade
+			}
+			return func(b Batch) { f(Batch{Lo: b.Lo + lo, Hi: b.Hi + lo}) }
+		}
+		e.runBatchesSplit(src[lo:hi], w*stride, shifted(interior), shifted(shell))
+	})
 }
 
 // Apply dispatches to the approach-specific driver.

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/stencil"
+	"repro/internal/topology"
+)
+
+// Split-phase halo exchange tests: StartExchange/FinishExchange must
+// install exactly the halos the blocking Exchange installs, for every
+// layout, boundary condition and option set — and the steady-state
+// start/finish loop must not allocate.
+
+// overlapEngine builds a per-rank engine over the given layout.
+func overlapEngine(c *mpi.Comm, global, procs topology.Dims, periodic bool, opts Options) *Engine {
+	dec, err := grid.NewDecomp(global, procs, 2)
+	if err != nil {
+		panic(err)
+	}
+	cart := c.CartCreate(procs, [3]bool{periodic, periodic, periodic}, true)
+	eng, err := NewEngine(cart, dec, stencil.Laplacian(2, 1), periodic, opts)
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+// fillLocal seeds a rank's grids with a deterministic global-index field.
+func fillLocal(dec *grid.Decomp, coord topology.Coord, gs []*grid.Grid) {
+	off := dec.Offset(coord)
+	for gi, g := range gs {
+		gi := gi
+		g.FillFunc(func(i, j, k int) float64 {
+			return float64(gi*1000000+(off[0]+i)*10000+(off[1]+j)*100+(off[2]+k)) + 0.5
+		})
+	}
+}
+
+// TestStartFinishMatchesExchange: for several layouts, both boundary
+// conditions and both option sets, a StartExchange/FinishExchange pair
+// must leave every halo cell bitwise equal to what the blocking
+// Exchange produces.
+func TestStartFinishMatchesExchange(t *testing.T) {
+	global := topology.Dims{12, 10, 8}
+	layouts := []topology.Dims{{1, 1, 1}, {2, 1, 1}, {1, 2, 2}, {2, 2, 2}, {1, 1, 4}}
+	for _, procs := range layouts {
+		for _, periodic := range []bool{false, true} {
+			for _, opts := range []Options{
+				OptionsFor(FlatOptimized, 2, 1),
+				OptionsFor(FlatOriginal, 1, 1), // serialized: Start degrades to blocking
+			} {
+				opts := opts
+				err := mpi.Run(procs.Count(), mpi.ThreadSingle, func(c *mpi.Comm) {
+					eng := overlapEngine(c, global, procs, periodic, opts)
+					defer eng.Close()
+					coord := eng.Coord()
+					dec, _ := grid.NewDecomp(global, procs, 2)
+					mk := func() []*grid.Grid {
+						gs := []*grid.Grid{eng.NewLocalGrid(), eng.NewLocalGrid(), eng.NewLocalGrid()}
+						fillLocal(dec, coord, gs)
+						return gs
+					}
+					want := mk()
+					eng.Exchange(want)
+					got := mk()
+					h := eng.StartExchange(got)
+					eng.FinishExchange(h)
+					for gi := range got {
+						// Compare the full allocation, halos included.
+						wd, gd := want[gi].Data(), got[gi].Data()
+						for i := range wd {
+							if wd[i] != gd[i] {
+								t.Errorf("procs %v periodic %v opts %+v grid %d: halo deviates at flat index %d (%g != %g)",
+									procs, periodic, opts, gi, i, gd[i], wd[i])
+								return
+							}
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("procs %v: %v", procs, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitExchangeInteriorDuringFlight: interior stencil compute
+// between Start and Finish plus shell compute after must reproduce the
+// exchange-then-full-apply result bitwise (the protocol the distributed
+// solvers run).
+func TestSplitExchangeInteriorDuringFlight(t *testing.T) {
+	global := topology.Dims{12, 12, 12}
+	op := stencil.Laplacian(2, 0.7)
+	for _, procs := range []topology.Dims{{2, 1, 1}, {2, 2, 1}, {1, 2, 2}} {
+		for _, periodic := range []bool{false, true} {
+			err := mpi.Run(procs.Count(), mpi.ThreadSingle, func(c *mpi.Comm) {
+				eng := overlapEngine(c, global, procs, periodic, OptionsFor(FlatOptimized, 1, 1))
+				defer eng.Close()
+				dec, _ := grid.NewDecomp(global, procs, 2)
+				src := eng.NewLocalGrid()
+				fillLocal(dec, eng.Coord(), []*grid.Grid{src})
+				want := eng.NewLocalGrid()
+				eng.Exchange([]*grid.Grid{src})
+				op.Apply(want, src)
+
+				src2 := eng.NewLocalGrid()
+				fillLocal(dec, eng.Coord(), []*grid.Grid{src2})
+				got := eng.NewLocalGrid()
+				h := eng.StartExchange([]*grid.Grid{src2})
+				op.ApplyInterior(nil, got, src2)
+				h.Finish()
+				op.ApplyShell(got, src2)
+				if diff := got.MaxAbsDiff(want); diff != 0 {
+					t.Errorf("procs %v periodic %v: interior+shell deviates by %g", procs, periodic, diff)
+				}
+			})
+			if err != nil {
+				t.Fatalf("procs %v: %v", procs, err)
+			}
+		}
+	}
+}
+
+// TestRunBatchesSplitCoversAllBatches: the split driver must hand every
+// grid to interior and shell exactly once each, interior before shell
+// per batch, for all option sets including hybrid multiple.
+func TestRunBatchesSplitCoversAllBatches(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	procs := topology.Dims{1, 1, 2}
+	const n = 7
+	for _, hybrid := range []bool{false, true} {
+		mode := mpi.ThreadSingle
+		opts := OptionsFor(FlatOptimized, 2, 1)
+		if hybrid {
+			mode = mpi.ThreadMultiple
+			opts = OptionsFor(HybridMultiple, 2, 2)
+		}
+		err := mpi.Run(procs.Count(), mode, func(c *mpi.Comm) {
+			eng := overlapEngine(c, global, procs, true, opts)
+			defer eng.Close()
+			gs := make([]*grid.Grid, n)
+			for i := range gs {
+				gs[i] = eng.NewLocalGrid()
+			}
+			intSeen := make([]int, n)
+			shellSeen := make([]int, n)
+			var seenMu = make(chan struct{}, 1)
+			seenMu <- struct{}{}
+			interior := func(b Batch) {
+				<-seenMu
+				for gi := b.Lo; gi < b.Hi; gi++ {
+					intSeen[gi]++
+					if shellSeen[gi] != 0 {
+						panic(fmt.Sprintf("grid %d: shell before interior", gi))
+					}
+				}
+				seenMu <- struct{}{}
+			}
+			shell := func(b Batch) {
+				<-seenMu
+				for gi := b.Lo; gi < b.Hi; gi++ {
+					shellSeen[gi]++
+					if intSeen[gi] != 1 {
+						panic(fmt.Sprintf("grid %d: shell without interior", gi))
+					}
+				}
+				seenMu <- struct{}{}
+			}
+			if hybrid {
+				eng.RunBatchesSplitHybridMultiple(gs, interior, shell)
+			} else {
+				eng.RunBatchesSplit(gs, interior, shell)
+			}
+			for gi := 0; gi < n; gi++ {
+				if intSeen[gi] != 1 || shellSeen[gi] != 1 {
+					panic(fmt.Sprintf("grid %d visited interior %d shell %d times", gi, intSeen[gi], shellSeen[gi]))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("hybrid=%v: %v", hybrid, err)
+		}
+	}
+}
+
+// TestOverlapExchangeZeroAlloc is the hoisted-buffer regression test:
+// once warmed up, a StartExchange/FinishExchange cycle must perform no
+// allocation at all. One periodic rank exercises the full pack/send/
+// recv/unpack path through self-messages in every dimension, and every
+// receive is posted before its matching send, so the transport's
+// direct-delivery fast path and the engine's pooled state make the
+// loop allocation-free in steady state.
+func TestOverlapExchangeZeroAlloc(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	procs := topology.Dims{1, 1, 1}
+	err := mpi.Run(1, mpi.ThreadSingle, func(c *mpi.Comm) {
+		eng := overlapEngine(c, global, procs, true, OptionsFor(FlatOptimized, 1, 1))
+		defer eng.Close()
+		g := eng.NewLocalGrid()
+		gs := []*grid.Grid{g}
+		// Warm up the engine scratch pools, the mpi request pool and the
+		// mailbox slices.
+		for i := 0; i < 4; i++ {
+			h := eng.StartExchange(gs)
+			eng.FinishExchange(h)
+			eng.Exchange(gs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			h := eng.StartExchange(gs)
+			eng.FinishExchange(h)
+		}); allocs != 0 {
+			t.Errorf("split-phase exchange allocates %.1f objects/iteration, want 0", allocs)
+		}
+		// The blocking path shares the hoisted state and must be
+		// allocation-free too.
+		if allocs := testing.AllocsPerRun(100, func() {
+			eng.Exchange(gs)
+		}); allocs != 0 {
+			t.Errorf("blocking exchange allocates %.1f objects/iteration, want 0", allocs)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

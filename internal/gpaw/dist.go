@@ -41,6 +41,22 @@ import (
 // worker doing its own communication; MPI THREAD_MULTIPLE), and hybrid
 // master-only (master thread communicates, each grid's compute is
 // fork-joined across the pool; THREAD_SINGLE suffices).
+//
+// Split-phase overlap: every approach except flat original runs its hot
+// iteration loops on the overlapped protocol — the halo exchange is
+// posted (core.StartExchange), the fused kernel sweeps the deep
+// interior (every point that reads no halo) while the messages are in
+// flight, the exchange completes (FinishExchange) and the one-radius
+// boundary shell finishes the sweep (the ApplyXxxInterior/Shell kernel
+// pairs of internal/stencil). Flat original keeps the original
+// exchange-to-completion-then-compute structure as the differential
+// baseline, and DistConfig.NoOverlap forces that structure for any
+// approach. Because shell and interior reduction partials accumulate
+// into the same exact detsum accumulators and every point is computed
+// by exactly one phase with identical arithmetic, the overlapped
+// solvers are bit-identical to the serialized ones — the overlap test
+// matrix in dist_overlap_test.go asserts this for solutions, iteration
+// counts, eigenvalues and SCF energies.
 
 // distTag is the base tag of the solver layer's gather/scatter traffic,
 // far above the engine's halo-exchange tag space.
@@ -56,6 +72,14 @@ type DistConfig struct {
 	Approach core.Approach
 	Threads  int // compute threads per rank for the hybrid approaches
 	Batch    int // grids per halo-exchange message batch
+
+	// NoOverlap forces the serialized exchange-then-compute structure
+	// even for the optimized approaches, as the differential baseline
+	// the overlapped protocol is verified against. The default (false)
+	// overlaps halo communication with deep-interior compute in every
+	// approach except FlatOriginal, whose defining property is the
+	// absence of every section-V optimization.
+	NoOverlap bool
 }
 
 // Dist ties one MPI rank into a distributed real-space calculation: the
@@ -87,6 +111,13 @@ type Dist struct {
 	coord topology.Coord
 	off   topology.Coord
 	local topology.Dims
+
+	// overlap selects the split-phase protocol for the hot solver loops
+	// (see the package comment); exBuf is the hoisted single-grid slice
+	// of withOverlap, so per-iteration exchanges allocate nothing. It is
+	// only touched from the solver's master goroutine.
+	overlap bool
+	exBuf   []*grid.Grid
 }
 
 // NewDist builds the per-rank distributed context. Every rank of the
@@ -134,7 +165,8 @@ func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
 	}
 	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach,
 		World: comm, Bands: bands, Band: band, BandComm: bandComm, BGrid: bgrid,
-		eng: eng, pool: eng.WorkerPool()}
+		eng: eng, pool: eng.WorkerPool(),
+		overlap: !cfg.NoOverlap && cfg.Approach != core.FlatOriginal}
 	d.coord = cart.Coords(cart.Rank())
 	d.off = dec.Offset(d.coord)
 	d.local = dec.LocalDims(d.coord)
@@ -170,8 +202,35 @@ func (d *Dist) ScatterReplicated(global *grid.Grid) *grid.Grid {
 // neighbouring ranks using the configured protocol.
 func (d *Dist) Exchange(gs ...*grid.Grid) { d.eng.Exchange(gs) }
 
+// Overlapped reports whether the hot solver loops run the split-phase
+// overlapped protocol (every approach but FlatOriginal, unless
+// DistConfig.NoOverlap forced the serialized baseline).
+func (d *Dist) Overlapped() bool { return d.overlap }
+
 // Stats returns the engine's accumulated communication statistics.
 func (d *Dist) Stats() core.Stats { return d.eng.Stats() }
+
+// withOverlap runs one halo exchange of g plus one fused sweep through
+// eng with the configured structure. Overlapped: the exchange is
+// posted, interior() computes the halo-free deep interior while the
+// messages travel, the exchange completes and shell() finishes the
+// boundary. Serialized baseline: the blocking exchange completes first,
+// then full() runs the whole sweep. Both orders produce bit-identical
+// results (exact reductions, identical per-point arithmetic); only the
+// communication/computation schedule differs. eng is a parameter
+// because the multigrid levels own engines of their own.
+func (d *Dist) withOverlap(eng *core.Engine, g *grid.Grid, full, interior, shell func()) {
+	d.exBuf = append(d.exBuf[:0], g)
+	if !d.overlap {
+		eng.Exchange(d.exBuf)
+		full()
+		return
+	}
+	h := eng.StartExchange(d.exBuf)
+	interior()
+	eng.FinishExchange(h)
+	shell()
+}
 
 // --- deterministic global reductions -------------------------------
 
@@ -314,6 +373,35 @@ func (d *Dist) forEachExchanged(states []*grid.Grid, f func(gi int, p *stencil.P
 	}
 }
 
+// forEachSplit is forEachExchanged's split-phase sibling: per batch,
+// interior runs for each state while its halo messages are in flight
+// and shell runs after they are installed. Hybrid multiple divides
+// states among pool workers, each communicating for its own share;
+// hybrid master-only hands interior the pool to fork-join one state's
+// deep interior across (the shell is O(surface) and stays on the
+// master). Interior must not read halos.
+func (d *Dist) forEachSplit(states []*grid.Grid, interior func(gi int, p *stencil.Pool), shell func(gi int)) {
+	runAll := func(b core.Batch, f func(gi int)) {
+		for gi := b.Lo; gi < b.Hi; gi++ {
+			f(gi)
+		}
+	}
+	switch d.Approach {
+	case core.HybridMultiple:
+		d.eng.RunBatchesSplitHybridMultiple(states,
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil) }) },
+			func(b core.Batch) { runAll(b, shell) })
+	case core.HybridMasterOnly:
+		d.eng.RunBatchesSplit(states,
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, d.pool) }) },
+			func(b core.Batch) { runAll(b, shell) })
+	default:
+		d.eng.RunBatchesSplit(states,
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil) }) },
+			func(b core.Batch) { runAll(b, shell) })
+	}
+}
+
 // --- distributed Poisson solvers -----------------------------------
 
 // DistPoisson solves ∇²φ = rhs on local sub-domains, mirroring Poisson
@@ -331,13 +419,17 @@ func NewDistPoisson(d *Dist, h float64) *DistPoisson {
 	return &DistPoisson{D: d, Op: stencil.Laplacian(2, h), Tol: 1e-8, MaxIter: 10000}
 }
 
-// residual computes r = rhs - ∇²phi (exchange + one fused sweep) and
-// returns the global residual norm.
+// residual computes r = rhs - ∇²phi (one halo exchange + one fused
+// sweep, overlapped when the approach allows) and returns the global
+// residual norm.
 func (ps *DistPoisson) residual(r, phi, rhs *grid.Grid) float64 {
-	ps.D.Exchange(phi)
+	d := ps.D
 	var acc detsum.Acc
-	ps.Op.ApplyResidualAcc(ps.D.pool, r, rhs, phi, &acc)
-	return math.Sqrt(ps.D.reduceAcc(&acc))
+	d.withOverlap(d.eng, phi,
+		func() { ps.Op.ApplyResidualAcc(d.pool, r, rhs, phi, &acc) },
+		func() { ps.Op.ApplyResidualInteriorAcc(d.pool, r, rhs, phi, &acc) },
+		func() { ps.Op.ApplyResidualShellAcc(r, rhs, phi, &acc) })
+	return math.Sqrt(d.reduceAcc(&acc))
 }
 
 // SolveJacobi mirrors Poisson.SolveJacobi across ranks.
@@ -390,18 +482,24 @@ func (ps *DistPoisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 	}
 	r := grid.NewDims(phi.Dims(), phi.H)
 	ap := grid.NewDims(phi.Dims(), phi.H)
-	d.Exchange(phi)
 	var acc detsum.Acc
-	neg.ApplyResidualAcc(d.pool, r, b, phi, &acc)
+	d.withOverlap(d.eng, phi,
+		func() { neg.ApplyResidualAcc(d.pool, r, b, phi, &acc) },
+		func() { neg.ApplyResidualInteriorAcc(d.pool, r, b, phi, &acc) },
+		func() { neg.ApplyResidualShellAcc(r, b, phi, &acc) })
 	if d.BC == Periodic {
 		d.removeMeanDist(r)
 	}
 	p := r.Clone()
 	rsold := d.Dot(r, r)
 	for it := 1; it <= ps.MaxIter; it++ {
-		d.Exchange(p)
+		// ap = A p and <p, Ap>, the deep interior computed while p's
+		// halo messages are in flight.
 		acc.Reset()
-		neg.ApplyDotAcc(d.pool, ap, p, &acc)
+		d.withOverlap(d.eng, p,
+			func() { neg.ApplyDotAcc(d.pool, ap, p, &acc) },
+			func() { neg.ApplyDotInteriorAcc(d.pool, ap, p, &acc) },
+			func() { neg.ApplyDotShellAcc(ap, p, &acc) })
 		pap := d.reduceAcc(&acc)
 		alpha := rsold / pap
 		d.pool.Axpy(phi, alpha, p)
@@ -667,14 +765,21 @@ func (mg *DistMultigrid) SerializedFrom() int { return len(mg.levels) }
 func (mg *DistMultigrid) ShrunkFrom() int { return mg.shrunkFrom }
 
 // smooth runs n damped Jacobi sweeps on a distributed level, ping-pong
-// through lv.res exactly like the serial smoother.
+// through lv.res exactly like the serial smoother. Each sweep's deep
+// interior overlaps the level's halo exchange (the level engines always
+// post asynchronously; the overlap split follows the solver approach).
 func (mg *DistMultigrid) smooth(lv *distMGLevel, phi, rhs *grid.Grid, n int) {
 	const omega = 0.8
 	c := omega / lv.op.Center
+	d := mg.D
 	src, dst := phi, lv.res
 	for s := 0; s < n; s++ {
-		lv.eng.Exchange([]*grid.Grid{src})
-		lv.op.ApplySmooth(mg.D.pool, dst, src, rhs, c)
+		// The callbacks run inside withOverlap, before the swap, so they
+		// see this sweep's src/dst.
+		d.withOverlap(lv.eng, src,
+			func() { lv.op.ApplySmooth(d.pool, dst, src, rhs, c) },
+			func() { lv.op.ApplySmoothInterior(d.pool, dst, src, rhs, c) },
+			func() { lv.op.ApplySmoothShell(dst, src, rhs, c) })
 		src, dst = dst, src
 	}
 	if src != phi {
@@ -687,8 +792,11 @@ func (mg *DistMultigrid) smooth(lv *distMGLevel, phi, rhs *grid.Grid, n int) {
 // the global norm, matching the serial solver which discards it inside
 // the V-cycle).
 func (mg *DistMultigrid) residualInto(lv *distMGLevel, res, phi, rhs *grid.Grid, acc *detsum.Acc) {
-	lv.eng.Exchange([]*grid.Grid{phi})
-	lv.op.ApplyResidualAcc(mg.D.pool, res, rhs, phi, acc)
+	d := mg.D
+	d.withOverlap(lv.eng, phi,
+		func() { lv.op.ApplyResidualAcc(d.pool, res, rhs, phi, acc) },
+		func() { lv.op.ApplyResidualInteriorAcc(d.pool, res, rhs, phi, acc) },
+		func() { lv.op.ApplyResidualShellAcc(res, rhs, phi, acc) })
 }
 
 // vcycle performs one distributed V-cycle from level l. It is entered
@@ -778,9 +886,20 @@ func NewDistHamiltonian(d *Dist, h float64, v *grid.Grid) *DistHamiltonian {
 
 // applyStates computes dsts[i] = beta*psis[i] + alpha*(H psis[i]) for
 // every state, with halo exchange and compute structured by the Dist's
-// approach (batched exchange, overlap, per-thread communication or
-// per-grid fork-join).
+// approach (batched exchange, per-thread communication or per-grid
+// fork-join). Overlapped approaches run each state's fused step split-
+// phase: the deep interior sweeps while the batch's halo messages are
+// in flight, the boundary shell after they land. This is the path the
+// band-parallel eigensolver (bands.go RayleighRitz and the damped power
+// step) applies H through, so the overlap covers the bands x domain
+// layout too.
 func (h *DistHamiltonian) applyStates(dsts, psis []*grid.Grid, alpha, beta float64) {
+	if h.D.overlap {
+		h.D.forEachSplit(psis,
+			func(gi int, p *stencil.Pool) { h.T.ApplyStepInterior(p, dsts[gi], psis[gi], h.V, alpha, beta) },
+			func(gi int) { h.T.ApplyStepShell(dsts[gi], psis[gi], h.V, alpha, beta) })
+		return
+	}
 	h.D.forEachExchanged(psis, func(gi int, p *stencil.Pool) {
 		h.T.ApplyStep(p, dsts[gi], psis[gi], h.V, alpha, beta)
 	})

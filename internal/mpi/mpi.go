@@ -56,19 +56,15 @@ type envelope struct {
 	seq  uint64 // arrival order stamp, for deterministic matching
 }
 
-// pendingRecv is a posted receive waiting for a matching message.
-type pendingRecv struct {
-	src, tag int
-	req      *Request
-	buf      []float64
-}
-
-// mailbox holds a rank's unmatched arrived messages and posted receives.
+// mailbox holds a rank's unmatched arrived messages and posted
+// receives. Posted receives are the Request objects themselves (their
+// prSrc/prTag/buf matching fields are guarded by the mailbox lock), so
+// posting a receive costs no extra allocation.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	arrived []*envelope
-	posted  []*pendingRecv
+	posted  []*Request
 	seq     uint64
 	aborted bool
 }
@@ -88,6 +84,7 @@ type World struct {
 
 	reqMu   sync.Mutex
 	pending map[*Request]struct{}
+	reqFree []*Request // completed requests handed back by Reclaim
 	aborted bool
 }
 
@@ -270,41 +267,44 @@ func (c *Comm) send(to, tag int, data []float64) {
 // traffic.
 func (c *Comm) sendInternal(to, tag int, data []float64) {
 	box := c.world.boxes[c.worldRank(to)]
-	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...)}
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	box.seq++
-	env.seq = box.seq
-	// Try to match a posted receive first, in post order.
+	// Try to match a posted receive first, in post order. The match
+	// delivers straight from the sender's buffer into the posted one —
+	// no envelope, no intermediate copy, no allocation — which makes the
+	// split-phase exchange loops (receives posted up front, sends
+	// following) allocation-free in steady state.
 	for i, pr := range box.posted {
 		if pr == nil {
 			continue
 		}
-		if (pr.src == AnySource || pr.src == env.src) && (pr.tag == AnyTag || pr.tag == env.tag) {
+		if (pr.prSrc == AnySource || pr.prSrc == c.rank) && (pr.prTag == AnyTag || pr.prTag == tag) {
 			box.posted[i] = nil
-			completeRecv(pr, env)
-			c.world.untrack(pr.req)
+			completeRecv(pr, c.rank, tag, data)
+			c.world.untrack(pr)
 			box.cond.Broadcast()
 			return
 		}
 	}
+	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...), seq: box.seq}
 	box.arrived = append(box.arrived, env)
 	box.cond.Broadcast()
 }
 
-// completeRecv copies the envelope into the posted buffer and completes
-// the request. Caller holds the mailbox lock. A message larger than the
-// posted buffer is a truncation error, surfaced as a panic at the
-// receiver's Wait (never in the sender's goroutine, which may be a
+// completeRecv copies the message payload into the posted buffer and
+// completes the request. Caller holds the mailbox lock. A message larger
+// than the posted buffer is a truncation error, surfaced as a panic at
+// the receiver's Wait (never in the sender's goroutine, which may be a
 // different rank).
-func completeRecv(pr *pendingRecv, env *envelope) {
-	n := copy(pr.buf, env.data)
-	if len(env.data) > len(pr.buf) {
-		pr.req.completeErr(env.src, env.tag, n,
-			fmt.Errorf("mpi: message of %d values truncated into buffer of %d", len(env.data), len(pr.buf)))
+func completeRecv(pr *Request, src, tag int, data []float64) {
+	n := copy(pr.buf, data)
+	if len(data) > len(pr.buf) {
+		pr.completeErr(src, tag, n,
+			fmt.Errorf("mpi: message of %d values truncated into buffer of %d", len(data), len(pr.buf)))
 		return
 	}
-	pr.req.complete(env.src, env.tag, n)
+	pr.complete(src, tag, n)
 }
 
 // Recv blocks until a message matching (from, tag) arrives, copies it
@@ -324,7 +324,7 @@ func (c *Comm) Isend(to, tag int, data []float64) *Request {
 	c.enter()
 	defer c.exit()
 	c.send(to, tag, data)
-	r := newRequest()
+	r := c.world.getRequest()
 	r.complete(c.rank, tag, len(data))
 	return r
 }
@@ -338,8 +338,8 @@ func (c *Comm) Irecv(from, tag int, buf []float64) *Request {
 
 func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 	box := c.world.boxes[c.worldRank(c.rank)]
-	req := newRequest()
-	pr := &pendingRecv{src: from, tag: tag, req: req, buf: buf}
+	req := c.world.getRequest()
+	req.prSrc, req.prTag, req.buf = from, tag, buf
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	// Match the earliest arrived envelope (FIFO per source/tag is
@@ -350,11 +350,11 @@ func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 		}
 		if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
 			box.arrived = append(box.arrived[:i], box.arrived[i+1:]...)
-			completeRecv(pr, env)
+			completeRecv(req, env.src, env.tag, env.data)
 			return req
 		}
 	}
-	box.posted = append(box.posted, pr)
+	box.posted = append(box.posted, req)
 	c.world.track(req)
 	// Garbage-collect matched slots occasionally to bound growth.
 	if len(box.posted) > 64 {

@@ -139,7 +139,7 @@ func TestIsendIrecvWaitall(t *testing.T) {
 			data := []float64{float64(i), 0, 0, float64(c.Rank())}
 			reqs = append(reqs, c.Isend(other, i, data))
 		}
-		Waitall(reqs)
+		Waitall(reqs...)
 		for i, b := range recvBufs {
 			if b[0] != float64(i) || b[3] != float64(other) {
 				panic(fmt.Sprintf("rank %d buf %d = %v", c.Rank(), i, b))
@@ -152,7 +152,9 @@ func TestIsendIrecvWaitall(t *testing.T) {
 }
 
 func TestWaitallNilEntries(t *testing.T) {
-	Waitall([]*Request{nil, nil}) // must not panic
+	Waitall(nil, nil) // must not panic
+	var reqs []*Request
+	Waitall(reqs...) // nor an empty spread
 }
 
 func TestRequestTest(t *testing.T) {

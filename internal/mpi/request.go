@@ -4,12 +4,16 @@ import "sync"
 
 // Request tracks the completion of a non-blocking operation, like
 // MPI_Request. Requests are created by Isend/Irecv and completed by the
-// runtime; Wait blocks until completion.
+// runtime; Wait blocks until completion and Test polls without blocking.
 //
 // Errors detected at delivery time (message truncation, world abort
 // after a rank panic) are stored on the request and surfaced as a panic
 // in the waiter's goroutine — the MPI convention that receive-side
 // errors belong to the receiver.
+//
+// Completed requests may optionally be handed back to their world's
+// free pool with Reclaim, so steady-state communication loops (the halo
+// exchange of internal/core) run without per-message allocation.
 type Request struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -18,12 +22,72 @@ type Request struct {
 	tag  int
 	n    int
 	err  error
+
+	// Posted-receive matching state, guarded by the owning mailbox's
+	// lock while the request sits in mailbox.posted (the role the
+	// separate pendingRecv struct used to play).
+	prSrc, prTag int
+	buf          []float64
+
+	// w is the world whose free pool the request returns to on Reclaim
+	// (nil for requests constructed outside a world, e.g. in tests).
+	w *World
 }
 
 func newRequest() *Request {
 	r := &Request{}
 	r.cond = sync.NewCond(&r.mu)
 	return r
+}
+
+// getRequest pops a reusable request from the world's free pool, or
+// allocates one. The returned request is reset and exclusively owned by
+// the caller.
+func (w *World) getRequest() *Request {
+	w.reqMu.Lock()
+	if n := len(w.reqFree); n > 0 {
+		r := w.reqFree[n-1]
+		w.reqFree[n-1] = nil
+		w.reqFree = w.reqFree[:n-1]
+		w.reqMu.Unlock()
+		r.reset()
+		return r
+	}
+	w.reqMu.Unlock()
+	r := newRequest()
+	r.w = w
+	return r
+}
+
+// reset prepares a pooled request for reuse.
+func (r *Request) reset() {
+	r.mu.Lock()
+	r.done = false
+	r.src, r.tag, r.n = 0, 0, 0
+	r.err = nil
+	r.prSrc, r.prTag = 0, 0
+	r.buf = nil
+	r.mu.Unlock()
+}
+
+// Reclaim returns completed requests to their world's free pool for
+// reuse by later Isend/Irecv calls. A request must only be reclaimed
+// after Wait (or Waitall) returned it, and must not be touched
+// afterwards — a later operation on the same communicator may hand the
+// object out again. Nil entries are ignored. Reclaiming is optional
+// (unreclaimed requests are simply garbage collected); hot exchange
+// loops use it to stay allocation-free in steady state.
+func Reclaim(reqs ...*Request) {
+	for _, r := range reqs {
+		if r == nil || r.w == nil {
+			continue
+		}
+		r.buf = nil // do not retain the receive buffer past reclaim
+		w := r.w
+		w.reqMu.Lock()
+		w.reqFree = append(w.reqFree, r)
+		w.reqMu.Unlock()
+	}
 }
 
 // complete marks the request done with the given status and wakes
@@ -59,19 +123,34 @@ func (r *Request) Wait() (src, tag, n int) {
 	return r.src, r.tag, r.n
 }
 
-// Test reports whether the operation has completed, without blocking.
+// Test reports whether the operation has completed, without blocking —
+// the poll the split-phase overlap protocol uses to check for early
+// message arrival between interior work items. A true result means a
+// subsequent Wait returns immediately.
 func (r *Request) Test() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.done
 }
 
-// Waitall blocks until every request in reqs completes. Nil entries are
-// ignored, matching MPI_REQUEST_NULL.
-func Waitall(reqs []*Request) {
+// Waitall blocks until every request completes. Nil entries are
+// ignored, matching MPI_REQUEST_NULL. The variadic form spreads over a
+// request slice: Waitall(reqs...).
+func Waitall(reqs ...*Request) {
 	for _, r := range reqs {
 		if r != nil {
 			r.Wait()
 		}
 	}
+}
+
+// Testall reports whether every request has completed, without
+// blocking. Nil entries are ignored.
+func Testall(reqs ...*Request) bool {
+	for _, r := range reqs {
+		if r != nil && !r.Test() {
+			return false
+		}
+	}
+	return true
 }

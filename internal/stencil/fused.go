@@ -98,21 +98,9 @@ func (op *Operator) ApplyDot(p *Pool, dst, src *grid.Grid) float64 {
 func (op *Operator) ApplyDotAcc(p *Pool, dst, src *grid.Grid, acc *detsum.Acc) {
 	op.checkFused("ApplyDot", src, dst)
 	taps := op.gridTaps(src)
-	in := src.Data()
-	out := dst.Data()
 	accs := make([]detsum.Acc, p.Workers())
 	p.Exec(src.Nx, func(w, x0, x1 int) {
-		a := &accs[w]
-		for i := x0; i < x1; i++ {
-			for j := 0; j < src.Ny; j++ {
-				srow := src.Index(i, j, 0)
-				drow := dst.Index(i, j, 0)
-				stencilRow(out[drow:drow+src.Nz], in, srow, src.Nz, op.Center, taps)
-				for k := 0; k < src.Nz; k++ {
-					a.Add(in[srow+k] * out[drow+k])
-				}
-			}
-		}
+		op.applyDotBlock(dst, src, taps, &accs[w], Block{x0, x1, 0, src.Ny, 0, src.Nz})
 	})
 	grid.NoteTraffic(src.Points(), 2)
 	mergeAccs(acc, accs)
@@ -132,25 +120,10 @@ func (op *Operator) ApplyResidual(p *Pool, r, b, phi *grid.Grid) float64 {
 func (op *Operator) ApplyResidualAcc(p *Pool, r, b, phi *grid.Grid, acc *detsum.Acc) {
 	op.checkFused("ApplyResidual", phi, r, b)
 	taps := op.gridTaps(phi)
-	in := phi.Data()
-	rd := r.Data()
-	bd := b.Data()
 	accs := make([]detsum.Acc, p.Workers())
 	p.Exec(phi.Nx, func(w, x0, x1 int) {
-		a := &accs[w]
 		buf := make([]float64, phi.Nz)
-		for i := x0; i < x1; i++ {
-			for j := 0; j < phi.Ny; j++ {
-				stencilRow(buf, in, phi.Index(i, j, 0), phi.Nz, op.Center, taps)
-				rrow := r.Index(i, j, 0)
-				brow := b.Index(i, j, 0)
-				for k := 0; k < phi.Nz; k++ {
-					v := bd[brow+k] - buf[k]
-					rd[rrow+k] = v
-					a.Add(v * v)
-				}
-			}
-		}
+		op.applyResidualBlock(r, b, phi, taps, buf, &accs[w], Block{x0, x1, 0, phi.Ny, 0, phi.Nz})
 	})
 	grid.NoteTraffic(phi.Points(), 3)
 	mergeAccs(acc, accs)
@@ -162,22 +135,9 @@ func (op *Operator) ApplyResidualAcc(p *Pool, r, b, phi *grid.Grid, acc *detsum.
 func (op *Operator) ApplySmooth(p *Pool, dst, phi, rhs *grid.Grid, c float64) {
 	op.checkFused("ApplySmooth", phi, dst, rhs)
 	taps := op.gridTaps(phi)
-	in := phi.Data()
-	out := dst.Data()
-	bd := rhs.Data()
 	p.Exec(phi.Nx, func(_, x0, x1 int) {
 		buf := make([]float64, phi.Nz)
-		for i := x0; i < x1; i++ {
-			for j := 0; j < phi.Ny; j++ {
-				srow := phi.Index(i, j, 0)
-				stencilRow(buf, in, srow, phi.Nz, op.Center, taps)
-				drow := dst.Index(i, j, 0)
-				brow := rhs.Index(i, j, 0)
-				for k := 0; k < phi.Nz; k++ {
-					out[drow+k] = in[srow+k] + c*(bd[brow+k]-buf[k])
-				}
-			}
-		}
+		op.applySmoothBlock(dst, phi, rhs, taps, buf, c, Block{x0, x1, 0, phi.Ny, 0, phi.Nz})
 	})
 	grid.NoteTraffic(phi.Points(), 3)
 }
@@ -189,51 +149,13 @@ func (op *Operator) ApplySmooth(p *Pool, dst, phi, rhs *grid.Grid, c float64) {
 // dst = src - tau*H(src). 3 streams with v, 2 without. dst must not
 // alias src or v.
 func (op *Operator) ApplyStep(p *Pool, dst, src, v *grid.Grid, alpha, beta float64) {
-	if v != nil {
-		op.checkFused("ApplyStep", src, dst, v)
-	} else {
-		op.checkFused("ApplyStep", src, dst)
-	}
+	op.checkStep("ApplyStep", dst, src, v)
 	taps := op.gridTaps(src)
-	in := src.Data()
-	out := dst.Data()
-	var vd []float64
-	if v != nil {
-		vd = v.Data()
-	}
-	streams := 2
-	if v != nil {
-		streams = 3
-	}
 	p.Exec(src.Nx, func(_, x0, x1 int) {
 		buf := make([]float64, src.Nz)
-		for i := x0; i < x1; i++ {
-			for j := 0; j < src.Ny; j++ {
-				srow := src.Index(i, j, 0)
-				stencilRow(buf, in, srow, src.Nz, op.Center, taps)
-				if v != nil {
-					vrow := v.Index(i, j, 0)
-					for k := 0; k < src.Nz; k++ {
-						buf[k] += vd[vrow+k] * in[srow+k]
-					}
-				}
-				drow := dst.Index(i, j, 0)
-				switch {
-				case beta == 0 && alpha == 1:
-					copy(out[drow:drow+src.Nz], buf)
-				case beta == 1:
-					for k := 0; k < src.Nz; k++ {
-						out[drow+k] = in[srow+k] + alpha*buf[k]
-					}
-				default:
-					for k := 0; k < src.Nz; k++ {
-						out[drow+k] = beta*in[srow+k] + alpha*buf[k]
-					}
-				}
-			}
-		}
+		op.applyStepBlock(dst, src, v, taps, buf, alpha, beta, Block{x0, x1, 0, src.Ny, 0, src.Nz})
 	})
-	grid.NoteTraffic(src.Points(), streams)
+	grid.NoteTraffic(src.Points(), stepStreams(v))
 }
 
 // SORSweep performs one in-place lexicographic Gauss-Seidel sweep with

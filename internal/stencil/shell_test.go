@@ -1,0 +1,216 @@
+package stencil
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/detsum"
+	"repro/internal/grid"
+)
+
+// coverCount marks every point covered by the interior block plus the
+// shell blocks of an (nx, ny, nz, r) sweep and returns the per-point
+// visit counts.
+func coverCount(nx, ny, nz, r int) []int {
+	mark := make([]int, nx*ny*nz)
+	stamp := func(b Block) {
+		for i := b.X0; i < b.X1; i++ {
+			for j := b.Y0; j < b.Y1; j++ {
+				for k := b.Z0; k < b.Z1; k++ {
+					mark[(i*ny+j)*nz+k]++
+				}
+			}
+		}
+	}
+	stamp(InteriorBlock(nx, ny, nz, r))
+	for _, b := range ShellBlocks(nx, ny, nz, r) {
+		stamp(b)
+	}
+	return mark
+}
+
+// checkCover fails unless interior + shell cover every point of the
+// sweep exactly once.
+func checkCover(t *testing.T, nx, ny, nz, r int) {
+	t.Helper()
+	for p, c := range coverCount(nx, ny, nz, r) {
+		if c != 1 {
+			i := p / (ny * nz)
+			j := (p / nz) % ny
+			k := p % nz
+			t.Fatalf("extents (%d,%d,%d) r=%d: point (%d,%d,%d) covered %d times, want exactly 1",
+				nx, ny, nz, r, i, j, k, c)
+		}
+	}
+}
+
+// TestShellCoverageExhaustiveSmall sweeps every extent combination up
+// to 7 with radii 0..3, including all the degenerate cases (extent
+// smaller than the radius, smaller than twice the radius, equal to it).
+func TestShellCoverageExhaustiveSmall(t *testing.T) {
+	for nx := 1; nx <= 7; nx++ {
+		for ny := 1; ny <= 7; ny++ {
+			for nz := 1; nz <= 7; nz++ {
+				for r := 0; r <= 3; r++ {
+					checkCover(t, nx, ny, nz, r)
+				}
+			}
+		}
+	}
+}
+
+// FuzzShellCoverage: for arbitrary extents and radii — the shapes
+// random rank decompositions produce — the interior + shell split must
+// cover every point exactly once.
+func FuzzShellCoverage(f *testing.F) {
+	f.Add(16, 16, 16, 2)
+	f.Add(8, 3, 5, 2)
+	f.Add(1, 1, 1, 3)
+	f.Add(4, 9, 2, 1)
+	f.Add(5, 4, 4, 2)
+	clamp := func(v, m int) int {
+		if v < 0 {
+			v = -v
+		}
+		return v % m
+	}
+	f.Fuzz(func(t *testing.T, nx, ny, nz, r int) {
+		// Clamp to the extents a decomposition can actually produce;
+		// coverage is what is being fuzzed, not argument validation.
+		checkCover(t, 1+clamp(nx, 20), 1+clamp(ny, 20), 1+clamp(nz, 20), clamp(r, 5))
+	})
+}
+
+// TestShellCoverageRandomDecompositions slices a global grid with
+// random process grids (the sub-domain shapes the distributed solvers
+// hand the kernels) and checks the split on every resulting local
+// extent.
+func TestShellCoverageRandomDecompositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		global := [3]int{1 + rng.Intn(24), 1 + rng.Intn(24), 1 + rng.Intn(24)}
+		procs := [3]int{1 + rng.Intn(3), 1 + rng.Intn(3), 1 + rng.Intn(3)}
+		r := 1 + rng.Intn(3)
+		// Every split of n over p yields extents n/p or n/p+1.
+		dims := [3][]int{}
+		for d := 0; d < 3; d++ {
+			if procs[d] > global[d] {
+				procs[d] = global[d]
+			}
+			lo := global[d] / procs[d]
+			dims[d] = []int{lo}
+			if lo*procs[d] != global[d] {
+				dims[d] = append(dims[d], lo+1)
+			}
+		}
+		for _, nx := range dims[0] {
+			for _, ny := range dims[1] {
+				for _, nz := range dims[2] {
+					checkCover(t, nx, ny, nz, r)
+				}
+			}
+		}
+	}
+}
+
+// shellOperand builds deterministic halo-filled grids for the split
+// equivalence tests.
+func shellOperand(nx, ny, nz int, seed float64) *grid.Grid {
+	g := grid.New(nx, ny, nz, 2)
+	g.FillFunc(func(i, j, k int) float64 {
+		return seed + float64((i*37+j*17+k*5)%29)/7 - 2
+	})
+	g.FillHalosPeriodic()
+	return g
+}
+
+// TestSplitKernelsMatchFullBitwise: for every fused kernel, interior +
+// shell must reproduce the full sweep bitwise — outputs and reductions
+// — across worker counts and degenerate extents where the interior is
+// thin or empty.
+func TestSplitKernelsMatchFullBitwise(t *testing.T) {
+	op := Laplacian(2, 0.6)
+	shapes := [][3]int{{12, 10, 8}, {4, 12, 12}, {12, 3, 12}, {12, 12, 2}, {3, 3, 3}, {5, 4, 9}}
+	for _, sh := range shapes {
+		nx, ny, nz := sh[0], sh[1], sh[2]
+		for _, w := range []int{1, 3} {
+			p := NewPool(w)
+			src := shellOperand(nx, ny, nz, 0.25)
+			rhs := shellOperand(nx, ny, nz, -1.5)
+			v := shellOperand(nx, ny, nz, 0.75)
+
+			// Apply.
+			full := grid.New(nx, ny, nz, 2)
+			op.Apply(full, src)
+			split := grid.New(nx, ny, nz, 2)
+			op.ApplyInterior(p, split, src)
+			op.ApplyShell(split, src)
+			if d := split.MaxAbsDiff(full); d != 0 {
+				t.Errorf("%v w=%d Apply split deviates by %g", sh, w, d)
+			}
+
+			// ApplyDot.
+			var fullAcc, splitAcc detsum.Acc
+			op.ApplyDotAcc(p, full, src, &fullAcc)
+			op.ApplyDotInteriorAcc(p, split, src, &splitAcc)
+			op.ApplyDotShellAcc(split, src, &splitAcc)
+			if split.MaxAbsDiff(full) != 0 || splitAcc.Round() != fullAcc.Round() {
+				t.Errorf("%v w=%d ApplyDot split: dot %.17g, full %.17g", sh, w, splitAcc.Round(), fullAcc.Round())
+			}
+
+			// ApplyResidual.
+			fullAcc.Reset()
+			splitAcc.Reset()
+			op.ApplyResidualAcc(p, full, rhs, src, &fullAcc)
+			op.ApplyResidualInteriorAcc(p, split, rhs, src, &splitAcc)
+			op.ApplyResidualShellAcc(split, rhs, src, &splitAcc)
+			if split.MaxAbsDiff(full) != 0 || splitAcc.Round() != fullAcc.Round() {
+				t.Errorf("%v w=%d ApplyResidual split: |r|^2 %.17g, full %.17g", sh, w, splitAcc.Round(), fullAcc.Round())
+			}
+
+			// ApplySmooth.
+			op.ApplySmooth(p, full, src, rhs, 0.31)
+			op.ApplySmoothInterior(p, split, src, rhs, 0.31)
+			op.ApplySmoothShell(split, src, rhs, 0.31)
+			if d := split.MaxAbsDiff(full); d != 0 {
+				t.Errorf("%v w=%d ApplySmooth split deviates by %g", sh, w, d)
+			}
+
+			// ApplyStep, with and without a potential, over the three
+			// coefficient fast paths.
+			for _, tc := range []struct {
+				v           *grid.Grid
+				alpha, beta float64
+			}{
+				{v, 1, 0}, {v, -0.01, 1}, {v, 0.5, -0.25}, {nil, -0.02, 1},
+			} {
+				op.ApplyStep(p, full, src, tc.v, tc.alpha, tc.beta)
+				op.ApplyStepInterior(p, split, src, tc.v, tc.alpha, tc.beta)
+				op.ApplyStepShell(split, src, tc.v, tc.alpha, tc.beta)
+				if d := split.MaxAbsDiff(full); d != 0 {
+					t.Errorf("%v w=%d ApplyStep(alpha=%g beta=%g) split deviates by %g", sh, w, tc.alpha, tc.beta, d)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestSplitTrafficAddsUp: interior + shell must account exactly the
+// same memory traffic as the full sweep (the counter feeds the
+// benchmark reports).
+func TestSplitTrafficAddsUp(t *testing.T) {
+	op := Laplacian(2, 1)
+	src := shellOperand(10, 9, 8, 0)
+	dst := grid.New(10, 9, 8, 2)
+	grid.ResetTraffic()
+	op.Apply(dst, src)
+	full := grid.TrafficPoints()
+	grid.ResetTraffic()
+	op.ApplyInterior(nil, dst, src)
+	op.ApplyShell(dst, src)
+	if got := grid.TrafficPoints(); got != full {
+		t.Errorf("split traffic %d, full %d", got, full)
+	}
+	grid.ResetTraffic()
+}

@@ -159,6 +159,66 @@ func benchPoissonProblem32() *grid.Grid {
 	return rhs
 }
 
+// overlapCG runs one distributed CG Poisson solve on p in-process ranks
+// and returns the iteration count. overlap=true runs the split-phase
+// protocol (flat optimized: async exchange overlapped with deep-
+// interior compute); overlap=false runs the serialized-exchange
+// baseline (flat original: dimension-by-dimension blocking exchange,
+// then the full sweep).
+func overlapCG(p int, overlap bool, global topology.Dims, rhs *grid.Grid, tol float64) (int, error) {
+	procs := topology.DecomposeGrid(p, global)
+	approach := core.FlatOriginal
+	if overlap {
+		approach = core.FlatOptimized
+	}
+	var iters int
+	err := mpi.Run(p, mpi.ThreadSingle, func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, gpaw.DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: gpaw.Dirichlet,
+			Approach: approach, Batch: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, 0.3)
+		ps.Tol = tol
+		phi := d.NewLocalGrid()
+		it, _, err := ps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			iters = it
+		}
+	})
+	return iters, err
+}
+
+// BenchmarkOverlapCG measures the split-phase overlapped CG solve
+// against the serialized-exchange baseline across rank counts. The
+// iterate sequences are bit-identical (asserted in the gpaw overlap
+// differential tests), so both modes do exactly the same arithmetic;
+// only the communication/computation schedule differs.
+func BenchmarkOverlapCG(b *testing.B) {
+	global := topology.Dims{32, 32, 32}
+	rhs := benchPoissonProblem32()
+	for _, p := range []int{1, 2, 4, 8} {
+		for _, mode := range []struct {
+			name    string
+			overlap bool
+		}{{"overlap", true}, {"serialized", false}} {
+			b.Run(fmt.Sprintf("ranks%d/%s", p, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := overlapCG(p, mode.overlap, global, rhs, 1e-6); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // stencilBenchReport is the schema of BENCH_stencil.json.
 type stencilBenchReport struct {
 	Grid            [3]int             `json:"grid"`
@@ -176,6 +236,15 @@ type stencilBenchReport struct {
 	// ranks; informational) and its rank-invariant iteration count.
 	WavefrontSORNs    map[string]float64 `json:"wavefront_sor_ns"`
 	WavefrontSORIters int                `json:"wavefront_sor_iters"`
+	// Split-phase overlapped CG vs the serialized-exchange baseline per
+	// rank count (in-process ranks; wall times informational). The
+	// iteration count is rank- and mode-invariant — the overlapped
+	// solver is bit-identical to the serialized one — and the speedup is
+	// serialized_ns / overlap_ns.
+	OverlapCGNs    map[string]float64 `json:"overlap_cg_ns"`
+	SerializedCGNs map[string]float64 `json:"serialized_cg_ns"`
+	OverlapSpeedup map[string]float64 `json:"overlap_speedup"`
+	OverlapCGIters int                `json:"overlap_cg_iters"`
 }
 
 // timeApply returns the best-of-reps wall time of one application.
@@ -277,6 +346,43 @@ func TestWriteStencilBenchJSON(t *testing.T) {
 		})
 	}
 
+	// Overlapped vs serialized-exchange CG: the iteration count must not
+	// depend on the mode or the rank count (the split-phase solver is
+	// bit-identical to the serialized baseline); wall times feed the
+	// overlap_speedup report.
+	rep.OverlapCGNs = map[string]float64{}
+	rep.SerializedCGNs = map[string]float64{}
+	rep.OverlapSpeedup = map[string]float64{}
+	ovGlobal := topology.Dims{32, 32, 32}
+	ovRhs := gpaw.GaussianDensity(ovGlobal, 0.3, 1.2, 1)
+	ovRhs.Scale(-1)
+	for _, p := range []int{1, 2, 4, 8} {
+		key := fmt.Sprintf("ranks%d", p)
+		for _, overlap := range []bool{true, false} {
+			it, err := overlapCG(p, overlap, ovGlobal, ovRhs, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OverlapCGIters == 0 {
+				rep.OverlapCGIters = it
+			} else if it != rep.OverlapCGIters {
+				t.Fatalf("CG at %d ranks (overlap=%v) took %d iterations, first run took %d — solver not bit-identical",
+					p, overlap, it, rep.OverlapCGIters)
+			}
+			ns := timeApply(5, func() {
+				if _, err := overlapCG(p, overlap, ovGlobal, ovRhs, 1e-6); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if overlap {
+				rep.OverlapCGNs[key] = ns
+			} else {
+				rep.SerializedCGNs[key] = ns
+			}
+		}
+		rep.OverlapSpeedup[key] = rep.SerializedCGNs[key] / rep.OverlapCGNs[key]
+	}
+
 	if os.Getenv("BENCH_STENCIL_JSON") != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
@@ -286,6 +392,6 @@ func TestWriteStencilBenchJSON(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	t.Logf("serial %.2fms, 4-worker speedup %.2fx (on %d CPUs), CG traffic ratio %.2f",
-		rep.ApplySerialNs/1e6, rep.ApplySpeedup["workers4"], rep.NumCPU, rep.CGTrafficRatio)
+	t.Logf("serial %.2fms, 4-worker speedup %.2fx (on %d CPUs), CG traffic ratio %.2f, overlap speedup at 4 ranks %.2fx",
+		rep.ApplySerialNs/1e6, rep.ApplySpeedup["workers4"], rep.NumCPU, rep.CGTrafficRatio, rep.OverlapSpeedup["ranks4"])
 }
