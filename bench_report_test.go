@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic publishes a benchmark report via temp file + rename,
+// so a reader (or a run killed mid-write — the failure mode the chaos
+// harness injects) never observes a truncated JSON file. The temp file
+// lives in the destination directory, keeping the rename atomic on any
+// POSIX filesystem.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -7,7 +7,8 @@
 //	gpawsim -experiment fig5a,fig6 -quick
 //
 // Experiments: table1, fig2, fig5a (no batching), fig5b (batch 8), fig6,
-// fig7, headline, ablations, dist, bands, all.
+// fig7, headline, ablations, dist, bands, faults (rank-failure
+// injection + shrink-to-survivors recovery), all.
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, all")
+		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, faults, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		"headline": func() []*bench.Experiment { return []*bench.Experiment{bench.Headline(opts)} },
 		"dist":     func() []*bench.Experiment { return []*bench.Experiment{bench.DistSolvers(opts)} },
 		"bands":    func() []*bench.Experiment { return []*bench.Experiment{bench.BandSolvers(opts)} },
+		"faults":   func() []*bench.Experiment { return []*bench.Experiment{bench.Faults(opts)} },
 		"ablations": func() []*bench.Experiment {
 			return []*bench.Experiment{
 				bench.AblationLatencyHiding(opts),
@@ -49,7 +51,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands"}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands", "faults"}
 
 	var selected []string
 	if *experiment == "all" {

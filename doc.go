@@ -21,7 +21,17 @@
 //     semantics, collectives, Cartesian topologies, thread modes,
 //     non-blocking requests with Wait/Waitall/Test polling and a
 //     zero-copy fast path that delivers a send straight into an
-//     already-posted receive buffer.
+//     already-posted receive buffer. The runtime carries a ULFM-style
+//     failure model (fault.go): RunWithFaults injects deterministic,
+//     seedable rank kills (FaultPlan: die after the k-th operation,
+//     optional seeded delay jitter); a death revokes the communication
+//     epoch so every survivor's pending or future operation on the
+//     failed world completes with a typed *ErrRankFailed rather than
+//     hanging; survivors converge on the membership with Comm.Agree
+//     (world-frozen round results) and rebuild with Comm.Shrink, whose
+//     epoch-stamped matching walls off all pre-failure traffic. A
+//     configurable operation timeout (World.SetOpTimeout) backstops the
+//     detector with a world-wide pending-receive dump.
 //   - internal/bgpsim — a calibrated discrete-event model of Blue
 //     Gene/P (Table I constants, torus links, DMA, mesh partitions)
 //     that replays the protocols at up to 16 384 cores and regenerates
@@ -68,7 +78,16 @@
 //     groups, subspace matrices assemble by circulating state blocks
 //     through the band communicator, and the eigensolver/SCF reproduce
 //     the serial results bit for bit for every bands x domain split
-//     (internal/gpaw/bands_test.go).
+//     (internal/gpaw/bands_test.go). The solver layer is fault
+//     tolerant: DistSCF/DistEigenSolver write gather-free, versioned,
+//     CRC64-checksummed checkpoints (checkpoint.go — one shard per
+//     rank, manifest committed atomically, restore re-tiles onto any
+//     process grid or band layout), and RunSCFFT (ft.go) turns a rank
+//     failure into Agree/Shrink recovery onto the survivor grid with
+//     resume from the last checkpoint; exact reductions make the
+//     recovered energies, eigenvalues, iteration counts and fields
+//     bit-identical to the fault-free run (chaos_test.go kills every
+//     combination of victim and checkpointed iteration to prove it).
 //   - internal/pblas — a miniature ScaLAPACK backing the band layer:
 //     block-cyclic distributed matrices over a 2D process grid built
 //     from mpi.Comm.Split row/column sub-communicators, SUMMA matrix

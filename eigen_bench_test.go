@@ -205,7 +205,7 @@ func TestWriteEigenBenchJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile("BENCH_eigen.json", append(out, '\n'), 0o644); err != nil {
+		if err := writeFileAtomic("BENCH_eigen.json", append(out, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,396 @@
+package gpaw
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// The chaos differential harness: for every solver approach, killing
+// any single rank at any checkpointed SCF iteration must yield recovery
+// onto the surviving process grid with final energies, eigenvalues,
+// iteration counts and solution fields bitwise identical to the
+// fault-free (serial) run — and a typed error, never a hang, when
+// recovery is disabled.
+
+// chaosWant runs the serial reference SCF the recovered runs are
+// compared against.
+func chaosWant(t *testing.T, sys System) *SCFResult {
+	t.Helper()
+	scf := NewSCF(sys)
+	scf.Tol = 1e-4
+	want, err := scf.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// chaosKillIters returns the checkpointed iterations the harness kills
+// at: the first, the middle and the last iteration of the fault-free
+// run.
+func chaosKillIters(want *SCFResult) []int {
+	iters := []int{1, (want.Iterations + 1) / 2, want.Iterations}
+	uniq := iters[:0]
+	for _, k := range iters {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	return uniq
+}
+
+// chaosKillRanks returns the victim ranks exercised at p ranks: the
+// first non-root rank and the last rank.
+func chaosKillRanks(p int) []int {
+	if p < 3 {
+		return []int{p - 1}
+	}
+	return []int{1, p - 1}
+}
+
+func TestChaosSCFDifferential(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	sys := scfSystem(global, 0.7)
+	want := chaosWant(t, sys)
+
+	ranks := rankCounts(t)
+	if len(ranks) == 4 {
+		// Default tier-1 sweep: the CI chaos matrix pins single rank
+		// counts (including 8) through DIST_RANKS.
+		ranks = []int{2, 4}
+	}
+	for _, p := range ranks {
+		if p < 2 {
+			continue
+		}
+		procs := scfLayoutsFor(p)[0]
+		if !feasible(global, procs, 2) {
+			continue
+		}
+		for ai, a := range core.Approaches {
+			killRanks := chaosKillRanks(p)
+			killIters := chaosKillIters(want)
+			if (testing.Short() || len(ranks) > 1) && ai > 0 {
+				// Full kill matrix on the first approach; the others
+				// keep one representative kill so every exchange
+				// protocol still sees failure + recovery.
+				killRanks = killRanks[:1]
+				killIters = killIters[1:2]
+			}
+			for _, killRank := range killRanks {
+				for _, killIt := range killIters {
+					store := NewMemStore()
+					err := mpi.Run(p, modeFor(a), func(c *mpi.Comm) {
+						ft := FTConfig{
+							Store:   store,
+							Every:   1,
+							Recover: true,
+							Configure: func(s *DistSCF) {
+								s.Tol = 1e-4
+								s.OnIteration = func(it int) {
+									if it == killIt && c.Rank() == killRank {
+										c.Fail()
+									}
+								}
+							},
+							OnResult: func(d *Dist, res *SCFResult) {
+								checkIdentical(t, d, res.Density, want.Density, "chaos SCF density", procs, a)
+								checkIdentical(t, d, res.VHartree, want.VHartree, "chaos SCF vH", procs, a)
+							},
+						}
+						cfg := DistConfig{Global: global, Procs: procs, Halo: 2, BC: sys.BC,
+							Approach: a, Threads: threadsFor(a), Batch: 2}
+						res, err := RunSCFFT(c, cfg, sys, ft)
+						if err != nil {
+							panic(err)
+						}
+						if res.TotalEnergy != want.TotalEnergy {
+							t.Errorf("p=%d a=%v kill(r=%d,it=%d): energy %.17g, serial %.17g",
+								p, a, killRank, killIt, res.TotalEnergy, want.TotalEnergy)
+						}
+						if res.Iterations != want.Iterations || res.Residual != want.Residual {
+							t.Errorf("p=%d a=%v kill(r=%d,it=%d): (it,res)=(%d,%.17g), serial (%d,%.17g)",
+								p, a, killRank, killIt, res.Iterations, res.Residual, want.Iterations, want.Residual)
+						}
+						for i := range res.Eigenvalues {
+							if res.Eigenvalues[i] != want.Eigenvalues[i] {
+								t.Errorf("p=%d a=%v kill(r=%d,it=%d): eig %d = %.17g, serial %.17g",
+									p, a, killRank, killIt, i, res.Eigenvalues[i], want.Eigenvalues[i])
+							}
+						}
+					})
+					if err != nil {
+						t.Errorf("p=%d a=%v kill(r=%d,it=%d): %v", p, a, killRank, killIt, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChaosNoRecoveryTypedError: with recovery disabled, every survivor
+// gets the typed rank failure as an error — never a hang (the operation
+// timeout is armed as a backstop; it firing would fail the run with a
+// pending-op dump).
+func TestChaosNoRecoveryTypedError(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	sys := scfSystem(global, 0.7)
+	const p = 4
+	procs := scfLayoutsFor(p)[0]
+	store := NewMemStore()
+	err := mpi.Run(p, mpi.ThreadSingle, func(c *mpi.Comm) {
+		c.World().SetOpTimeout(30 * time.Second)
+		ft := FTConfig{
+			Store: store, Every: 1, Recover: false,
+			Configure: func(s *DistSCF) {
+				s.Tol = 1e-4
+				s.OnIteration = func(it int) {
+					if it == 2 && c.Rank() == 1 {
+						c.Fail()
+					}
+				}
+			},
+		}
+		cfg := DistConfig{Global: global, Procs: procs, Halo: 2, BC: sys.BC,
+			Approach: core.FlatOptimized, Threads: 1, Batch: 2}
+		_, err := RunSCFFT(c, cfg, sys, ft)
+		var rf *mpi.ErrRankFailed
+		if !errors.As(err, &rf) {
+			t.Errorf("rank %d: error %v, want a *mpi.ErrRankFailed", c.Rank(), err)
+		} else if rf.Rank != 1 {
+			t.Errorf("rank %d: failure blames rank %d, want 1", c.Rank(), rf.Rank)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRestartBitIdentical: a checkpoint written on one
+// process grid resumes on another — fewer ranks (shrink) and more
+// ranks (grow) — with results bitwise identical to the serial run.
+func TestCheckpointRestartBitIdentical(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	sys := scfSystem(global, 0.7)
+	want := chaosWant(t, sys)
+
+	writeProcs := topology.Dims{1, 2, 2}
+	store := NewMemStore()
+	if err := mpi.Run(4, mpi.ThreadSingle, func(c *mpi.Comm) {
+		d, err := NewDist(c, DistConfig{Global: global, Procs: writeProcs, Halo: 2, BC: sys.BC,
+			Approach: core.FlatOptimized, Threads: 1, Batch: 2})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		s := NewDistSCF(d, sys)
+		s.Tol = 1e-4
+		s.Ckpt = &Checkpointer{Store: store, Every: 1}
+		if _, err := s.Run(); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := store.Steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != want.Iterations {
+		t.Fatalf("%d committed steps, want one per iteration (%d)", len(steps), want.Iterations)
+	}
+
+	resume := steps[len(steps)/2]
+	for _, tc := range []struct {
+		ranks int
+		procs topology.Dims
+	}{
+		{2, topology.Dims{1, 1, 2}}, // shrink
+		{8, topology.Dims{2, 2, 2}}, // grow
+	} {
+		if err := mpi.Run(tc.ranks, mpi.ThreadSingle, func(c *mpi.Comm) {
+			d, err := NewDist(c, DistConfig{Global: global, Procs: tc.procs, Halo: 2, BC: sys.BC,
+				Approach: core.FlatOptimized, Threads: 1, Batch: 2})
+			if err != nil {
+				panic(err)
+			}
+			defer d.Close()
+			rs, err := RestoreSCF(d, store, resume)
+			if err != nil {
+				panic(err)
+			}
+			s := NewDistSCF(d, sys)
+			s.Tol = 1e-4
+			res, err := s.Resume(rs)
+			if err != nil {
+				panic(err)
+			}
+			if res.TotalEnergy != want.TotalEnergy || res.Iterations != want.Iterations ||
+				res.Residual != want.Residual {
+				t.Errorf("resume on %v from step %d: (E,it,res)=(%.17g,%d,%.17g), serial (%.17g,%d,%.17g)",
+					tc.procs, resume, res.TotalEnergy, res.Iterations, res.Residual,
+					want.TotalEnergy, want.Iterations, want.Residual)
+			}
+			checkIdentical(t, d, res.Density, want.Density, "resumed density", tc.procs, core.FlatOptimized)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEigenCheckpointResume covers the standalone eigensolver's
+// checkpoint path: resume on a different layout reproduces the
+// undisturbed eigenvalues bitwise.
+func TestEigenCheckpointResume(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	h := 0.5
+	vext := HarmonicPotential(global, h, 1)
+	ham := NewHamiltonian(h, vext, Dirichlet)
+	es := NewEigenSolver(ham)
+	es.Tol = 1e-7
+	es.MaxIter = 500
+	want, err := es.Solve(InitGuess(3, [3]int{8, 8, 8}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := NewMemStore()
+	solve := func(c *mpi.Comm, procs topology.Dims, ck *Checkpointer, fromStore bool) []float64 {
+		d, err := NewDist(c, DistConfig{Global: global, Procs: procs, Halo: 2, BC: Dirichlet,
+			Approach: core.FlatOptimized, Threads: 1, Batch: 2})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		vloc := d.ScatterReplicated(vext)
+		des := NewDistEigenSolver(NewDistHamiltonian(d, h, vloc))
+		des.Tol = 1e-7
+		des.MaxIter = 500
+		des.Ckpt = ck
+		if fromStore {
+			steps, err := store.Steps()
+			if err != nil || len(steps) == 0 {
+				panic("no committed eigen checkpoints")
+			}
+			rs, err := RestoreEigen(d, store, steps[len(steps)/2])
+			if err != nil {
+				panic(err)
+			}
+			eig, _, err := des.Resume(rs)
+			if err != nil {
+				panic(err)
+			}
+			return eig
+		}
+		dpsis := make([]*grid.Grid, 3)
+		dims := [3]int{8, 8, 8}
+		for s := range dpsis {
+			g := d.NewLocalGrid()
+			s := s
+			off := d.Offset()
+			g.FillFunc(func(i, j, k int) float64 {
+				return guessValue(s, dims, off[0]+i, off[1]+j, off[2]+k)
+			})
+			dpsis[s] = g
+		}
+		eig, err := des.Solve(3, dpsis)
+		if err != nil {
+			panic(err)
+		}
+		return eig
+	}
+
+	if err := mpi.Run(4, mpi.ThreadSingle, func(c *mpi.Comm) {
+		eig := solve(c, topology.Dims{2, 2, 1}, &Checkpointer{Store: store, Every: 5}, false)
+		for i := range eig {
+			if eig[i] != want[i] {
+				t.Errorf("checkpointed solve: eig %d = %.17g, serial %.17g", i, eig[i], want[i])
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mpi.Run(2, mpi.ThreadSingle, func(c *mpi.Comm) {
+		eig := solve(c, topology.Dims{1, 2, 1}, nil, true)
+		for i := range eig {
+			if eig[i] != want[i] {
+				t.Errorf("resumed solve: eig %d = %.17g, serial %.17g", i, eig[i], want[i])
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointStores covers both Store implementations: round trip,
+// uncommitted steps staying invisible, and corruption detection.
+func TestCheckpointStores(t *testing.T) {
+	dir, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Store{NewMemStore(), dir} {
+		sh := &shard{Kind: shardKindSCF, Iteration: 3, Global: topology.Dims{4, 4, 4},
+			Local: topology.Dims{4, 4, 4}, Spacing: 0.5, States: 1, BandHi: 1,
+			Scalars: []float64{1.5}, Fields: [][]float64{make([]float64, 64), make([]float64, 64), make([]float64, 64)}}
+		sh.Fields[0][7] = 42
+		data := sh.encode()
+		if err := st.PutShard(3, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if steps, _ := st.Steps(); len(steps) != 0 {
+			t.Errorf("%T: uncommitted step visible: %v", st, steps)
+		}
+		if err := st.Commit(3, []byte(`{"version":1,"kind":1,"step":3,"ranks":1,"states":1,"global":[4,4,4],"sums":[]}`)); err != nil {
+			t.Fatal(err)
+		}
+		if step, ok, _ := LatestStep(st); !ok || step != 3 {
+			t.Errorf("%T: latest step (%d,%v), want (3,true)", st, step, ok)
+		}
+		back, err := st.GetShard(3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeShard(back)
+		if err != nil {
+			t.Fatalf("%T: decode round trip: %v", st, err)
+		}
+		if got.Iteration != 3 || got.Fields[0][7] != 42 || got.Scalars[0] != 1.5 {
+			t.Errorf("%T: round trip mangled the shard", st)
+		}
+		// Flip one payload byte: the CRC must catch it.
+		bad := append([]byte(nil), back...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := decodeShard(bad); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("%T: corrupted shard decoded: %v", st, err)
+		}
+	}
+}
+
+// TestChooseProcs pins the deterministic shrink-layout choices the
+// recovery path depends on.
+func TestChooseProcs(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	for _, tc := range []struct {
+		n      int
+		procs  topology.Dims
+		active int
+	}{
+		{1, topology.Dims{1, 1, 1}, 1},
+		{3, topology.Dims{1, 1, 3}, 3},
+		{7, topology.Dims{1, 2, 3}, 6}, // 7 has no feasible triple: halo 2 forbids a 7-way split of 8
+		{8, topology.Dims{2, 2, 2}, 8},
+	} {
+		procs, active := chooseProcs(global, tc.n, 2)
+		if procs != tc.procs || active != tc.active {
+			t.Errorf("chooseProcs(%v, %d): (%v, %d), want (%v, %d)",
+				global, tc.n, procs, active, tc.procs, tc.active)
+		}
+	}
+}

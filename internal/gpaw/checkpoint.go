@@ -1,0 +1,623 @@
+package gpaw
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/topology"
+)
+
+// Checkpoint/restart. Long SCF runs at Blue Gene scale survive node
+// loss the way production GPAW deployments do: by periodically writing
+// restart state and resuming from it. The design here is gather-free —
+// every rank writes its own shard of the state (density, effective
+// potential, its band slice of the wave-functions, the iteration
+// counter), so checkpointing costs no global communication beyond one
+// scalar gather for the commit record. Shards are self-describing
+// (global extents, sub-domain box, band range), versioned and CRC-
+// checksummed, so a restart may re-tile them onto ANY process grid and
+// band layout — in particular onto the shrunken survivor grid after a
+// rank failure. Restarted runs are bit-identical to undisturbed ones
+// because every reduction in the solver stack goes through the exact
+// internal/detsum transports: the recomputed iterations cannot drift,
+// whatever the new decomposition.
+//
+// A checkpoint step becomes valid only when its manifest commits
+// (two-phase: shards first, then the manifest naming their checksums),
+// so a step interrupted by the very failure it is meant to survive is
+// simply invisible to recovery.
+
+// Store is the persistence layer a Checkpointer writes through. MemStore
+// stands in for a shared parallel filesystem in tests (it outlives any
+// rank); DirStore is the on-disk form. Implementations must be safe for
+// concurrent use by all ranks.
+type Store interface {
+	// PutShard stores one rank's shard of a checkpoint step.
+	PutShard(step, rank int, data []byte) error
+	// GetShard retrieves one shard.
+	GetShard(step, rank int) ([]byte, error)
+	// Commit finalizes a step by storing its manifest; a step without a
+	// manifest is invisible to Steps and recovery.
+	Commit(step int, manifest []byte) error
+	// Manifest returns a committed step's manifest.
+	Manifest(step int) ([]byte, error)
+	// Steps lists the committed steps in ascending order.
+	Steps() ([]int, error)
+}
+
+// MemStore is an in-memory Store shared by all ranks of an in-process
+// world — the test stand-in for the parallel filesystem, surviving the
+// death of any rank goroutine.
+type MemStore struct {
+	mu        sync.Mutex
+	shards    map[[2]int][]byte
+	manifests map[int][]byte
+}
+
+// NewMemStore returns an empty in-memory checkpoint store.
+func NewMemStore() *MemStore {
+	return &MemStore{shards: make(map[[2]int][]byte), manifests: make(map[int][]byte)}
+}
+
+// PutShard implements Store.
+func (s *MemStore) PutShard(step, rank int, data []byte) error {
+	s.mu.Lock()
+	s.shards[[2]int{step, rank}] = append([]byte(nil), data...)
+	s.mu.Unlock()
+	return nil
+}
+
+// GetShard implements Store.
+func (s *MemStore) GetShard(step, rank int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.shards[[2]int{step, rank}]
+	if !ok {
+		return nil, fmt.Errorf("gpaw: checkpoint step %d shard %d not found", step, rank)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// Commit implements Store.
+func (s *MemStore) Commit(step int, manifest []byte) error {
+	s.mu.Lock()
+	s.manifests[step] = append([]byte(nil), manifest...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Manifest implements Store.
+func (s *MemStore) Manifest(step int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[step]
+	if !ok {
+		return nil, fmt.Errorf("gpaw: checkpoint step %d not committed", step)
+	}
+	return append([]byte(nil), m...), nil
+}
+
+// Steps implements Store.
+func (s *MemStore) Steps() ([]int, error) {
+	s.mu.Lock()
+	steps := make([]int, 0, len(s.manifests))
+	for st := range s.manifests {
+		steps = append(steps, st)
+	}
+	s.mu.Unlock()
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// DirStore persists checkpoints under a directory:
+//
+//	<dir>/step-NNNNNN/shard-NNNN.ckpt
+//	<dir>/step-NNNNNN/MANIFEST.json
+//
+// The manifest is written to a temporary file and renamed, so a step is
+// either fully committed or absent — an interrupted run can never leave
+// a half-valid checkpoint behind.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) an on-disk checkpoint store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) stepDir(step int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("step-%06d", step))
+}
+
+// PutShard implements Store.
+func (s *DirStore) PutShard(step, rank int, data []byte) error {
+	dir := s.stepDir(step)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", rank)), data, 0o644)
+}
+
+// GetShard implements Store.
+func (s *DirStore) GetShard(step, rank int) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.stepDir(step), fmt.Sprintf("shard-%04d.ckpt", rank)))
+}
+
+// Commit implements Store: temp file + rename, the atomic publication.
+func (s *DirStore) Commit(step int, manifest []byte) error {
+	dir := s.stepDir(step)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "MANIFEST.json.tmp")
+	if err := os.WriteFile(tmp, manifest, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "MANIFEST.json"))
+}
+
+// Manifest implements Store.
+func (s *DirStore) Manifest(step int) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.stepDir(step), "MANIFEST.json"))
+}
+
+// Steps implements Store.
+func (s *DirStore) Steps() ([]int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var steps []int
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "step-") {
+			continue
+		}
+		st, err := strconv.Atoi(strings.TrimPrefix(name, "step-"))
+		if err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.dir, name, "MANIFEST.json")); err != nil {
+			continue // uncommitted step: invisible
+		}
+		steps = append(steps, st)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+// LatestStep returns the newest committed checkpoint step, if any.
+func LatestStep(st Store) (int, bool, error) {
+	steps, err := st.Steps()
+	if err != nil {
+		return 0, false, err
+	}
+	if len(steps) == 0 {
+		return 0, false, nil
+	}
+	return steps[len(steps)-1], true, nil
+}
+
+// --- shard codec ----------------------------------------------------
+
+const (
+	shardMagic   = uint64(0x4750434b5f763100) // "GPCK_v1\0"
+	shardVersion = 1
+
+	shardKindSCF   = 1
+	shardKindEigen = 2
+)
+
+// ErrCheckpointCorrupt wraps checksum and format failures detected when
+// reading a shard back.
+var ErrCheckpointCorrupt = errors.New("gpaw: corrupt checkpoint shard")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// shard is the decoded form of one rank's checkpoint piece. Fields are
+// grid interiors in x-major order over the Local box at Off; an SCF
+// shard's fields are [density, veff, psi(BandLo) .. psi(BandHi-1)], an
+// eigen shard's are the psis alone.
+type shard struct {
+	Kind      int
+	Iteration int
+	Global    topology.Dims
+	Off       topology.Coord
+	Local     topology.Dims
+	Spacing   float64
+	BC        int
+	States    int // m, the global state count
+	BandLo    int // this shard's band slice [BandLo, BandHi)
+	BandHi    int
+	Scalars   []float64 // SCF: eigenvalues; eigen: previous Ritz values
+	Fields    [][]float64
+}
+
+type shardWriter struct{ buf []byte }
+
+func (w *shardWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+func (w *shardWriter) i64(v int)       { w.u64(uint64(v)) }
+func (w *shardWriter) f64(v float64)   { w.u64(math.Float64bits(v)) }
+func (w *shardWriter) f64s(v []float64) {
+	w.i64(len(v))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+type shardReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *shardReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.err = fmt.Errorf("%w: truncated at byte %d", ErrCheckpointCorrupt, r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+func (r *shardReader) i64() int     { return int(r.u64()) }
+func (r *shardReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *shardReader) f64s() []float64 {
+	n := r.i64()
+	if r.err != nil || n < 0 || r.pos+8*n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("%w: implausible vector length %d", ErrCheckpointCorrupt, n)
+		}
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.f64()
+	}
+	return v
+}
+
+// encode serializes the shard with a trailing CRC64 of everything
+// before it.
+func (sh *shard) encode() []byte {
+	w := &shardWriter{}
+	w.u64(shardMagic)
+	w.i64(shardVersion)
+	w.i64(sh.Kind)
+	w.i64(sh.Iteration)
+	for d := 0; d < 3; d++ {
+		w.i64(sh.Global[d])
+	}
+	for d := 0; d < 3; d++ {
+		w.i64(sh.Off[d])
+	}
+	for d := 0; d < 3; d++ {
+		w.i64(sh.Local[d])
+	}
+	w.f64(sh.Spacing)
+	w.i64(sh.BC)
+	w.i64(sh.States)
+	w.i64(sh.BandLo)
+	w.i64(sh.BandHi)
+	w.f64s(sh.Scalars)
+	w.i64(len(sh.Fields))
+	for _, f := range sh.Fields {
+		w.f64s(f)
+	}
+	w.u64(crc64.Checksum(w.buf, crcTable))
+	return w.buf
+}
+
+// decodeShard parses and checksum-verifies an encoded shard.
+func decodeShard(data []byte) (*shard, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCheckpointCorrupt, len(data))
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, crcTable); got != sum {
+		return nil, fmt.Errorf("%w: checksum %016x != recorded %016x", ErrCheckpointCorrupt, got, sum)
+	}
+	r := &shardReader{buf: body}
+	if m := r.u64(); m != shardMagic {
+		return nil, fmt.Errorf("%w: bad magic %016x", ErrCheckpointCorrupt, m)
+	}
+	if v := r.i64(); v != shardVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCheckpointCorrupt, v)
+	}
+	sh := &shard{Kind: r.i64(), Iteration: r.i64()}
+	for d := 0; d < 3; d++ {
+		sh.Global[d] = r.i64()
+	}
+	for d := 0; d < 3; d++ {
+		sh.Off[d] = r.i64()
+	}
+	for d := 0; d < 3; d++ {
+		sh.Local[d] = r.i64()
+	}
+	sh.Spacing = r.f64()
+	sh.BC = r.i64()
+	sh.States = r.i64()
+	sh.BandLo = r.i64()
+	sh.BandHi = r.i64()
+	sh.Scalars = r.f64s()
+	nf := r.i64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nf < 0 || nf > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible field count %d", ErrCheckpointCorrupt, nf)
+	}
+	sh.Fields = make([][]float64, nf)
+	for i := range sh.Fields {
+		sh.Fields[i] = r.f64s()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	want := sh.Local.Count()
+	for i, f := range sh.Fields {
+		if len(f) != want {
+			return nil, fmt.Errorf("%w: field %d has %d values for box %v", ErrCheckpointCorrupt, i, len(f), sh.Local)
+		}
+	}
+	return sh, nil
+}
+
+// manifest is the commit record of a checkpoint step.
+type manifest struct {
+	Version int      `json:"version"`
+	Kind    int      `json:"kind"`
+	Step    int      `json:"step"`
+	Ranks   int      `json:"ranks"`
+	States  int      `json:"states"`
+	Global  [3]int   `json:"global"`
+	Sums    []string `json:"sums"` // per-rank shard CRC64, hex
+}
+
+func readManifest(st Store, step int) (*manifest, error) {
+	raw, err := st.Manifest(step)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest: %v", ErrCheckpointCorrupt, err)
+	}
+	if m.Version != shardVersion {
+		return nil, fmt.Errorf("%w: manifest version %d", ErrCheckpointCorrupt, m.Version)
+	}
+	return &m, nil
+}
+
+// --- checkpointer ---------------------------------------------------
+
+// Checkpointer periodically snapshots solver state into a Store: every
+// Every-th iteration (<= 1 means every iteration), each rank writes its
+// own shard, the shard checksums gather to world rank 0 over the exact
+// bit-transport, and rank 0 commits the manifest. The gather doubles as
+// the completion barrier: by the time rank 0 holds all checksums, every
+// shard of the step is in the store.
+type Checkpointer struct {
+	Store Store
+	Every int
+}
+
+// due reports whether iteration it should be checkpointed.
+func (ck *Checkpointer) due(it int) bool {
+	if ck == nil || ck.Store == nil {
+		return false
+	}
+	return ck.Every <= 1 || it%ck.Every == 0
+}
+
+// save writes one rank's shard and commits the step's manifest at world
+// rank 0. The checksum travels through the float64 collective transport
+// bit-exactly (Float64frombits/Float64bits round-trip every uint64).
+func (ck *Checkpointer) save(d *Dist, sh *shard) error {
+	data := sh.encode()
+	step := sh.Iteration
+	if err := ck.Store.PutShard(step, d.World.Rank(), data); err != nil {
+		return fmt.Errorf("gpaw: checkpoint step %d: %w", step, err)
+	}
+	sum := crc64.Checksum(data[:len(data)-8], crcTable)
+	in := [1]float64{math.Float64frombits(sum)}
+	var out []float64
+	if d.World.Rank() == 0 {
+		out = make([]float64, d.World.Size())
+	}
+	d.World.Gather(0, in[:], out)
+	if d.World.Rank() != 0 {
+		return nil
+	}
+	man := manifest{Version: shardVersion, Kind: sh.Kind, Step: step, Ranks: d.World.Size(),
+		States: sh.States, Global: [3]int{sh.Global[0], sh.Global[1], sh.Global[2]}}
+	for _, b := range out {
+		man.Sums = append(man.Sums, fmt.Sprintf("%016x", math.Float64bits(b)))
+	}
+	raw, err := json.Marshal(&man)
+	if err != nil {
+		return err
+	}
+	if err := ck.Store.Commit(step, raw); err != nil {
+		return fmt.Errorf("gpaw: checkpoint step %d commit: %w", step, err)
+	}
+	return nil
+}
+
+// saveSCF snapshots the SCF state after iteration it: mixed density,
+// effective potential (the mixer's full state under linear mixing),
+// this band group's wave-function slice, eigenvalues and the counter.
+func (ck *Checkpointer) saveSCF(s *DistSCF, it, m int, eig []float64, psis []*grid.Grid, n, veff *grid.Grid) error {
+	d := s.D
+	lo, hi := d.BandRange(m)
+	sh := &shard{Kind: shardKindSCF, Iteration: it, Global: d.Decomp.Global,
+		Off: d.Offset(), Local: d.LocalDims(), Spacing: s.Sys.Spacing, BC: int(s.Sys.BC),
+		States: m, BandLo: lo, BandHi: hi, Scalars: append([]float64(nil), eig...)}
+	sh.Fields = append(sh.Fields, n.InteriorSlice(), veff.InteriorSlice())
+	for _, p := range psis {
+		sh.Fields = append(sh.Fields, p.InteriorSlice())
+	}
+	return ck.save(d, sh)
+}
+
+// saveEigen snapshots the standalone eigensolver state after iteration
+// it: this band group's states and the previous Ritz values.
+func (ck *Checkpointer) saveEigen(d *Dist, it, m int, psis []*grid.Grid, prev []float64) error {
+	lo, hi := d.BandRange(m)
+	sh := &shard{Kind: shardKindEigen, Iteration: it, Global: d.Decomp.Global,
+		Off: d.Offset(), Local: d.LocalDims(),
+		States: m, BandLo: lo, BandHi: hi, Scalars: append([]float64(nil), prev...)}
+	for _, p := range psis {
+		sh.Fields = append(sh.Fields, p.InteriorSlice())
+	}
+	return ck.save(d, sh)
+}
+
+// --- restore --------------------------------------------------------
+
+// SCFRestart is a restored SCF state, ready for DistSCF.Resume on the
+// Dist it was restored onto.
+type SCFRestart struct {
+	Iteration int
+	States    int
+	Eig       []float64
+	Psis      []*grid.Grid
+	N         *grid.Grid
+	Veff      *grid.Grid
+}
+
+// EigenRestart is a restored standalone-eigensolver state for
+// DistEigenSolver.Resume.
+type EigenRestart struct {
+	Iteration int
+	States    int
+	Prev      []float64
+	Psis      []*grid.Grid
+}
+
+// copyShardBox copies the intersection of a shard's box with this
+// rank's sub-domain from the shard field into the local grid.
+func copyShardBox(dst *grid.Grid, dstOff topology.Coord, sh *shard, field []float64,
+	lo topology.Coord, dims topology.Dims) {
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			srcPos := ((lo[0]-sh.Off[0]+i)*sh.Local[1]+(lo[1]-sh.Off[1]+j))*sh.Local[2] + (lo[2] - sh.Off[2])
+			li, lj, lk := lo[0]-dstOff[0]+i, lo[1]-dstOff[1]+j, lo[2]-dstOff[2]
+			row := dst.Index(li, lj, lk)
+			copy(dst.Data()[row:row+dims[2]], field[srcPos:srcPos+dims[2]])
+		}
+	}
+}
+
+// restore re-tiles a committed step's shards onto the Dist: every rank
+// reads the manifest and, shard by shard, copies the intersection of
+// the old sub-domain boxes with its new one (and of the old band
+// slices with its new one) — gather-free, exactly like a
+// grid.Redistribute whose source layout happens to live in the store.
+// kind selects SCF or eigen shards; the per-state destination grids are
+// allocated here.
+func restore(d *Dist, st Store, step, kind int) (*shard, []*grid.Grid, []*grid.Grid, error) {
+	man, err := readManifest(st, step)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if man.Kind != kind {
+		return nil, nil, nil, fmt.Errorf("gpaw: checkpoint step %d is kind %d, want %d", step, man.Kind, kind)
+	}
+	if topology.Dims(man.Global) != d.Decomp.Global {
+		return nil, nil, nil, fmt.Errorf("gpaw: checkpoint global %v != decomposed global %v", man.Global, d.Decomp.Global)
+	}
+	m := man.States
+	myLo, myHi := d.BandRange(m)
+	psis := make([]*grid.Grid, myHi-myLo)
+	for i := range psis {
+		psis[i] = d.NewLocalGrid()
+	}
+	nFixed := 0
+	if kind == shardKindSCF {
+		nFixed = 2
+	}
+	fixed := make([]*grid.Grid, nFixed)
+	for i := range fixed {
+		fixed[i] = d.NewLocalGrid()
+	}
+	var meta *shard
+	for r := 0; r < man.Ranks; r++ {
+		data, err := st.GetShard(step, r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if r < len(man.Sums) {
+			sum := crc64.Checksum(data[:len(data)-8], crcTable)
+			if fmt.Sprintf("%016x", sum) != man.Sums[r] {
+				return nil, nil, nil, fmt.Errorf("%w: step %d shard %d checksum mismatch", ErrCheckpointCorrupt, step, r)
+			}
+		}
+		sh, err := decodeShard(data)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if meta == nil {
+			meta = sh
+		}
+		lo, dims, ok := grid.IntersectBox(sh.Off, sh.Local, d.Offset(), d.LocalDims())
+		if !ok {
+			continue
+		}
+		for i := range fixed {
+			copyShardBox(fixed[i], d.Offset(), sh, sh.Fields[i], lo, dims)
+		}
+		for st := max(sh.BandLo, myLo); st < min(sh.BandHi, myHi); st++ {
+			copyShardBox(psis[st-myLo], d.Offset(), sh, sh.Fields[nFixed+(st-sh.BandLo)], lo, dims)
+		}
+	}
+	if meta == nil {
+		return nil, nil, nil, fmt.Errorf("gpaw: checkpoint step %d has no shards", step)
+	}
+	return meta, fixed, psis, nil
+}
+
+// RestoreSCF re-tiles a committed SCF checkpoint onto the Dist's
+// process grid and band layout — the same layout it was written from,
+// a shrunken survivor grid, or a grown one.
+func RestoreSCF(d *Dist, st Store, step int) (*SCFRestart, error) {
+	meta, fixed, psis, err := restore(d, st, step, shardKindSCF)
+	if err != nil {
+		return nil, err
+	}
+	return &SCFRestart{Iteration: meta.Iteration, States: meta.States,
+		Eig: meta.Scalars, Psis: psis, N: fixed[0], Veff: fixed[1]}, nil
+}
+
+// RestoreEigen re-tiles a committed eigensolver checkpoint onto the
+// Dist.
+func RestoreEigen(d *Dist, st Store, step int) (*EigenRestart, error) {
+	meta, _, psis, err := restore(d, st, step, shardKindEigen)
+	if err != nil {
+		return nil, err
+	}
+	return &EigenRestart{Iteration: meta.Iteration, States: meta.States,
+		Prev: meta.Scalars, Psis: psis}, nil
+}

@@ -927,6 +927,10 @@ type DistEigenSolver struct {
 	H       *DistHamiltonian
 	Tol     float64
 	MaxIter int
+	// Ckpt, when set, snapshots the solver state (this band group's
+	// states, previous Ritz values, iteration counter) every
+	// Ckpt.Every iterations; see checkpoint.go.
+	Ckpt *Checkpointer
 }
 
 // NewDistEigenSolver returns a solver with the serial defaults.
@@ -941,6 +945,21 @@ func NewDistEigenSolver(h *DistHamiltonian) *DistEigenSolver {
 // 1). As with the serial solver, slice elements may be replaced; read
 // states through the slice afterwards.
 func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
+	return es.solve(m, psis, nil, 0)
+}
+
+// Resume continues a solve from a restored checkpoint (RestoreEigen).
+// The restored states stand in for the caller's psis slice; the solver
+// skips the initial orthonormalization — the checkpointed states are
+// already the post-Rayleigh–Ritz basis, and renormalizing them would
+// perturb the bits an undisturbed run produces. The returned slice
+// holds the final states.
+func (es *DistEigenSolver) Resume(rs *EigenRestart) ([]float64, []*grid.Grid, error) {
+	eig, err := es.solve(rs.States, rs.Psis, rs.Prev, rs.Iteration)
+	return eig, rs.Psis, err
+}
+
+func (es *DistEigenSolver) solve(m int, psis []*grid.Grid, resumePrev []float64, start int) ([]float64, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("gpaw: no states to solve")
 	}
@@ -949,20 +968,24 @@ func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
 		return nil, fmt.Errorf("gpaw: band group %d holds %d of %d states, want %d",
 			d.Band, len(psis), m, hi-lo)
 	}
-	if err := d.orthonormalize(m, psis); err != nil {
-		return nil, err
+	prev := make([]float64, m)
+	if resumePrev != nil {
+		copy(prev, resumePrev)
+	} else {
+		if err := d.orthonormalize(m, psis); err != nil {
+			return nil, err
+		}
+		for i := range prev {
+			prev[i] = math.Inf(1)
+		}
 	}
 	tau := 1.0 / es.H.SpectralBound()
 	outs := make([]*grid.Grid, len(psis))
 	for i := range outs {
 		outs[i] = grid.NewDims(psis[i].Dims(), psis[i].H)
 	}
-	prev := make([]float64, m)
-	for i := range prev {
-		prev[i] = math.Inf(1)
-	}
 	lastDelta := math.Inf(1)
-	for it := 1; it <= es.MaxIter; it++ {
+	for it := start + 1; it <= es.MaxIter; it++ {
 		// Damped power step psi <- psi - tau*H*psi for this group's
 		// states, one fused sweep each behind the approach's exchange
 		// protocol.
@@ -985,6 +1008,11 @@ func (es *DistEigenSolver) Solve(m int, psis []*grid.Grid) ([]float64, error) {
 			prev[i] = e
 		}
 		lastDelta = maxd
+		if es.Ckpt.due(it) {
+			if err := es.Ckpt.saveEigen(d, it, m, psis, prev); err != nil {
+				return nil, err
+			}
+		}
 		if maxd < es.Tol {
 			return eig, nil
 		}
@@ -1006,6 +1034,15 @@ type DistSCF struct {
 	Mix     float64
 	Tol     float64
 	MaxIter int
+	// Ckpt, when set, snapshots the SCF state (density, effective
+	// potential, this band group's states, eigenvalues, iteration
+	// counter) every Ckpt.Every iterations; see checkpoint.go.
+	Ckpt *Checkpointer
+	// OnIteration, when set, is called on every rank at the top of each
+	// SCF iteration, before any communication of that iteration. The
+	// fault-injection harness uses it to kill a rank at a chosen
+	// iteration; production callers may use it for progress reporting.
+	OnIteration func(it int)
 }
 
 // NewDistSCF builds a distributed SCF driver with the serial defaults.
@@ -1042,6 +1079,30 @@ func (s *DistSCF) buildDensity(m int, psis []*grid.Grid) *grid.Grid {
 // decision for decision (every reduced scalar is identical on every
 // rank, so all ranks take the same branches).
 func (s *DistSCF) Run() (*SCFResult, error) {
+	return s.run(nil)
+}
+
+// Resume continues the self-consistent loop from a restored checkpoint
+// (RestoreSCF), starting at iteration rs.Iteration+1. Because every
+// reduction in the solver stack is exact and the restored state is a
+// bit-exact re-tiling of the checkpointed one, the resumed run — on the
+// same process grid, a shrunken one, or a grown one — produces results
+// bit-identical to an undisturbed run, including the reported iteration
+// count.
+func (s *DistSCF) Resume(rs *SCFRestart) (*SCFResult, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("gpaw: nil SCF restart state")
+	}
+	if rs.States != s.states() {
+		return nil, fmt.Errorf("gpaw: checkpoint has %d states, system wants %d", rs.States, s.states())
+	}
+	if rs.Iteration >= s.MaxIter {
+		return nil, fmt.Errorf("gpaw: checkpoint at iteration %d leaves no iterations below MaxIter %d", rs.Iteration, s.MaxIter)
+	}
+	return s.run(rs)
+}
+
+func (s *DistSCF) run(rs *SCFRestart) (*SCFResult, error) {
 	if s.Sys.Electrons < 1 {
 		return nil, fmt.Errorf("gpaw: %d electrons", s.Sys.Electrons)
 	}
@@ -1056,15 +1117,25 @@ func (s *DistSCF) Run() (*SCFResult, error) {
 	}
 	d := s.D
 	m := s.states()
-	psis := d.InitGuessBand(m, [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]})
 	poisson := NewDistPoisson(d, s.Sys.Spacing)
 	poisson.Tol = 1e-8
 	vextLocal := d.ScatterReplicated(s.Sys.Vext)
 
-	veff := vextLocal.Clone()
-	var n *grid.Grid
+	var psis []*grid.Grid
+	var n, veff *grid.Grid
 	var eig []float64
-	for it := 1; it <= s.MaxIter; it++ {
+	start := 0
+	if rs != nil {
+		psis, n, veff, eig = rs.Psis, rs.N, rs.Veff, rs.Eig
+		start = rs.Iteration
+	} else {
+		psis = d.InitGuessBand(m, [3]int{s.Sys.Dims[0], s.Sys.Dims[1], s.Sys.Dims[2]})
+		veff = vextLocal.Clone()
+	}
+	for it := start + 1; it <= s.MaxIter; it++ {
+		if s.OnIteration != nil {
+			s.OnIteration(it)
+		}
 		h := NewDistHamiltonian(d, s.Sys.Spacing, veff)
 		es := NewDistEigenSolver(h)
 		es.Tol = 1e-7
@@ -1089,6 +1160,15 @@ func (s *DistSCF) Run() (*SCFResult, error) {
 			return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
 		}
 		updateVeff(veff, vextLocal, vh, n)
+		// Snapshot after the mix and potential update: (psis, n, veff,
+		// eig, it) is the complete SCF state — the Hartree solve holds
+		// no cross-iteration state. Saved before the convergence
+		// branch, which is taken identically on every rank.
+		if s.Ckpt.due(it) {
+			if err := s.Ckpt.saveSCF(s, it, m, eig, psis, n, veff); err != nil {
+				return nil, fmt.Errorf("gpaw: scf iteration %d checkpoint: %w", it, err)
+			}
+		}
 		if residual < s.Tol {
 			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
 				Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil

@@ -1,0 +1,294 @@
+package gpaw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Fault-tolerant SCF driver. RunSCFFT wraps the distributed
+// self-consistent loop in the ULFM-style recovery protocol the mpi
+// fault layer supports: when a rank dies, every survivor's next
+// communication fails with a typed *mpi.ErrRankFailed (never a hang),
+// the survivors agree on the surviving membership (Comm.Agree), shrink
+// to a replacement communicator (Comm.Shrink), re-decompose the global
+// grid onto a process grid that fits the smaller world, re-tile the
+// last committed checkpoint onto it and resume. Because every reduction
+// in the solver stack is exact (internal/detsum) and checkpoint restore
+// is a bit-exact re-tiling, the recovered run's eigenvalues, energies,
+// iteration counts and fields are bit-identical to an undisturbed run —
+// whatever rank died, whenever it died.
+
+// FTConfig configures fault handling around a distributed SCF run.
+type FTConfig struct {
+	// Store receives the periodic checkpoints; nil disables
+	// checkpointing, in which case recovery restarts the SCF from
+	// scratch on the survivors (still bit-identical, just slower).
+	Store Store
+	// Every is the checkpoint cadence in SCF iterations (<= 1: every
+	// iteration).
+	Every int
+	// Recover enables shrink-to-survivors recovery. When false, a rank
+	// failure is returned to the caller as a *mpi.ErrRankFailed on
+	// every survivor.
+	Recover bool
+	// MaxRecoveries bounds how many failures are absorbed before the
+	// error is returned (<= 0: unbounded — recovery continues as long
+	// as at least one rank survives).
+	MaxRecoveries int
+	// Configure, when set, is applied to each attempt's DistSCF before
+	// it runs — the hook for tolerances, mixing, iteration hooks
+	// (DistSCF.OnIteration) and such.
+	Configure func(*DistSCF)
+	// OnResult, when set, runs on every active rank of the successful
+	// attempt with its Dist and local result before parked ranks are
+	// released — the hook for gathering fields while the final process
+	// grid still exists.
+	OnResult func(*Dist, *SCFResult)
+}
+
+// chooseProcs picks the process grid for n ranks deterministically:
+// the largest usable rank count p <= n with a decomposition of global
+// that grid.NewDecomp accepts, and among p's factor triples the one
+// minimizing the longest grid edge (ties broken lexicographically).
+// Every survivor computes the same grid from the same n.
+func chooseProcs(global topology.Dims, n, halo int) (topology.Dims, int) {
+	for p := n; p >= 1; p-- {
+		var best topology.Dims
+		found := false
+		for px := 1; px <= p; px++ {
+			if p%px != 0 {
+				continue
+			}
+			rem := p / px
+			for py := 1; py <= rem; py++ {
+				if rem%py != 0 {
+					continue
+				}
+				procs := topology.Dims{px, py, rem / py}
+				if _, err := grid.NewDecomp(global, procs, halo); err != nil {
+					continue
+				}
+				if !found || betterProcs(procs, best) {
+					best, found = procs, true
+				}
+			}
+		}
+		if found {
+			return best, p
+		}
+	}
+	return topology.Dims{1, 1, 1}, 1
+}
+
+func betterProcs(a, b topology.Dims) bool {
+	am := max(a[0], a[1], a[2])
+	bm := max(b[0], b[1], b[2])
+	if am != bm {
+		return am < bm
+	}
+	for d := 0; d < 3; d++ {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
+}
+
+// scfAttempt runs one SCF attempt on the active communicator,
+// converting a survivor-side rank-failure panic into an error so the
+// caller can recover. A victim's own kill panic is re-raised — the dead
+// rank's goroutine must unwind out of the runtime entirely.
+func scfAttempt(body func() (*SCFResult, error)) (res *SCFResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			rf, ok := mpi.AsRankFailure(p)
+			if !ok {
+				panic(p)
+			}
+			res, err = nil, rf
+		}
+	}()
+	return body()
+}
+
+// ftOutcome broadcasts the attempt's outcome from active rank 0 of the
+// full communicator to everyone — the release that lets parked ranks
+// (those beyond the shrunken process grid) return the same scalars the
+// actives computed. Layout: [status, energy, iterations, residual,
+// eigenvalues...].
+func ftOutcome(c *mpi.Comm, m int, res *SCFResult, err error) (*SCFResult, error) {
+	buf := make([]float64, 4+m)
+	if res != nil {
+		if err != nil {
+			buf[0] = 1
+		}
+		buf[1] = res.TotalEnergy
+		buf[2] = float64(res.Iterations)
+		buf[3] = res.Residual
+		copy(buf[4:], res.Eigenvalues)
+	} else {
+		buf[0] = 2
+	}
+	c.Bcast(0, buf)
+	if res != nil {
+		return res, err
+	}
+	// Parked (or result-less) rank: reconstruct the outcome the actives
+	// broadcast; the placeholder error passed in is discarded.
+	switch buf[0] {
+	case 0, 1:
+		out := &SCFResult{Eigenvalues: append([]float64(nil), buf[4:]...),
+			TotalEnergy: buf[1], Iterations: int(buf[2]), Residual: buf[3]}
+		if buf[0] == 1 {
+			return out, fmt.Errorf("gpaw: SCF did not converge (residual %g)", out.Residual)
+		}
+		return out, nil
+	default:
+		if err == nil {
+			err = fmt.Errorf("gpaw: distributed SCF failed on the active ranks")
+		}
+		return nil, err
+	}
+}
+
+// RunSCFFT runs the distributed SCF fault-tolerantly on the given
+// communicator. The first attempt uses cfg's process grid and band
+// layout as given (cfg.Bands * cfg.Procs.Count() must equal the
+// communicator size); after a failure the survivors re-decompose with
+// chooseProcs and a single band group. Ranks beyond the shrunken
+// process grid park in the outcome broadcast and return the successful
+// attempt's scalar results (their grid fields are nil — they own no
+// sub-domain of the final layout).
+//
+// With ft.Recover false, a rank failure surfaces as an error matching
+// *mpi.ErrRankFailed (via errors.As) on every survivor.
+func RunSCFFT(comm *mpi.Comm, cfg DistConfig, sys System, ft FTConfig) (*SCFResult, error) {
+	m := (sys.Electrons + 1) / 2
+	c := comm
+	recoveries := 0
+	procs, bands := cfg.Procs, cfg.Bands
+	if bands < 1 {
+		bands = 1
+	}
+	for {
+		active := bands * procs.Count()
+		sub := c
+		if active < c.Size() {
+			color := 0
+			if c.Rank() >= active {
+				color = -1
+			}
+			sub = c.Split(color, c.Rank())
+		} else if active > c.Size() {
+			return nil, fmt.Errorf("gpaw: layout %d x %v needs %d ranks, have %d", bands, procs, active, c.Size())
+		}
+
+		res, err := scfAttempt(func() (*SCFResult, error) {
+			if sub == nil {
+				// Parked: wait for the actives' outcome (or a failure).
+				return ftOutcome(c, m, nil, errors.New("gpaw: parked rank released without outcome"))
+			}
+			// Every active path — success, solver error, even a setup
+			// error — must reach the outcome broadcast, or parked ranks
+			// would wait forever on a fault-free failure.
+			var d *Dist
+			res, err := func() (*SCFResult, error) {
+				acfg := cfg
+				acfg.Procs, acfg.Bands = procs, bands
+				var err error
+				d, err = NewDist(sub, acfg)
+				if err != nil {
+					return nil, err
+				}
+				s := NewDistSCF(d, sys)
+				if ft.Store != nil {
+					s.Ckpt = &Checkpointer{Store: ft.Store, Every: ft.Every}
+				}
+				if ft.Configure != nil {
+					ft.Configure(s)
+				}
+				rs, err := latestRestart(d, ft.Store, s)
+				if err != nil {
+					return nil, err
+				}
+				if rs != nil {
+					return s.Resume(rs)
+				}
+				return s.Run()
+			}()
+			if d != nil {
+				defer d.Close()
+			}
+			if res != nil && ft.OnResult != nil {
+				ft.OnResult(d, res)
+			}
+			return ftOutcome(c, m, res, err)
+		})
+
+		var rf *mpi.ErrRankFailed
+		if err != nil && errors.As(err, &rf) {
+			if !ft.Recover || (ft.MaxRecoveries > 0 && recoveries >= ft.MaxRecoveries) {
+				return nil, err
+			}
+			recoveries++
+			// Stabilize the membership view: Agree freezes each round's
+			// result world-wide, so repeating until two consecutive
+			// rounds match leaves every survivor with the same view even
+			// when ranks keep dying during the agreement.
+			view := c.Agree()
+			for {
+				next := c.Agree()
+				if equalInts(view, next) {
+					break
+				}
+				view = next
+			}
+			c = c.Shrink(view)
+			procs, _ = chooseProcs(cfg.Global, c.Size(), cfg.Halo)
+			bands = 1
+			continue
+		}
+		return res, err
+	}
+}
+
+// latestRestart resolves the newest committed checkpoint onto d, with
+// active rank 0 choosing the step so every rank restores the same one.
+// Returns nil when there is nothing to resume from.
+func latestRestart(d *Dist, st Store, s *DistSCF) (*SCFRestart, error) {
+	if st == nil {
+		return nil, nil
+	}
+	var pick [1]float64
+	if d.World.Rank() == 0 {
+		step, ok, err := LatestStep(st)
+		if err != nil {
+			return nil, err
+		}
+		if !ok || step >= s.MaxIter {
+			step = -1
+		}
+		pick[0] = float64(step)
+	}
+	d.World.Bcast(0, pick[:])
+	if pick[0] < 0 {
+		return nil, nil
+	}
+	return RestoreSCF(d, st, int(pick[0]))
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -74,6 +74,14 @@ func intersectBox(aLo topology.Coord, aDim topology.Dims, bLo topology.Coord, bD
 	return lo, dims, true
 }
 
+// IntersectBox returns the overlap of two boxes given by lower corner
+// and extents — the same intersection redistribution plans are built
+// from, exported for callers that re-tile externally stored sub-domain
+// boxes (checkpoint restore).
+func IntersectBox(aLo topology.Coord, aDim topology.Dims, bLo topology.Coord, bDim topology.Dims) (lo topology.Coord, dims topology.Dims, ok bool) {
+	return intersectBox(aLo, aDim, bLo, bDim)
+}
+
 // NewRedistPlan builds the schedule for the given rank. src and dst
 // must decompose the same global extents; the communicator the plan
 // later runs on must have at least max(src, dst process count) ranks.

@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Degenerate redistribution plans — the shapes the fault-recovery path
+// produces when a world shrinks to very few survivors: identity moves,
+// everyone-parked-but-one concentrations, and plans where most rank
+// pairs share no box at all.
+
+// TestRedistIdentity1to1: a 1 -> 1 plan is pure self copy — no
+// messages — and the round trip is exact.
+func TestRedistIdentity1to1(t *testing.T) {
+	global := topology.Dims{7, 5, 9}
+	dec := MustDecomp(global, topology.Dims{1, 1, 1}, 1)
+	p := NewRedistPlan(0, dec, dec)
+	if len(p.sends) != 0 || len(p.recvs) != 0 {
+		t.Fatalf("identity plan has %d sends, %d recvs; want 0, 0", len(p.sends), len(p.recvs))
+	}
+	if p.self == nil {
+		t.Fatal("identity plan missing the self copy")
+	}
+	err := mpi.Run(1, mpi.ThreadSingle, func(c *mpi.Comm) {
+		a := fillLocal(dec, topology.Coord{0, 0, 0}, 1)
+		b := NewDims(dec.LocalDims(topology.Coord{0, 0, 0}), 1)
+		p.Run(c, a, b, 300)
+		if diff := b.MaxAbsDiff(a); diff != 0 {
+			t.Errorf("identity redistribution deviates by %g", diff)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRedistAllParkedButOne: (2,2,2) -> (1,1,1) concentrates the whole
+// field on rank 0 while seven ranks only send; the reverse fans it back
+// out bitwise.
+func TestRedistAllParkedButOne(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	decA := MustDecomp(global, topology.Dims{2, 2, 2}, 2)
+	decB := MustDecomp(global, topology.Dims{1, 1, 1}, 2)
+	for r := 1; r < 8; r++ {
+		p := NewRedistPlan(r, decA, decB)
+		if len(p.recvs) != 0 || p.self != nil || len(p.sends) != 1 {
+			t.Fatalf("rank %d: %d sends, %d recvs, self=%v; want a single send",
+				r, len(p.sends), len(p.recvs), p.self != nil)
+		}
+	}
+	err := mpi.Run(8, mpi.ThreadSingle, func(c *mpi.Comm) {
+		a := fillLocal(decA, decA.Procs.Coord(c.Rank()), 2)
+		back := NewDims(a.Dims(), 2)
+		var b *Grid
+		if c.Rank() == 0 {
+			b = NewDims(global, 0)
+		}
+		Redistribute(c, decA, decB, a, b, 301)
+		if c.Rank() == 0 {
+			checkLocal(t, decB, topology.Coord{0, 0, 0}, b, "concentrate")
+		}
+		Redistribute(c, decB, decA, b, back, 302)
+		if diff := back.MaxAbsDiff(a); diff != 0 {
+			t.Errorf("rank %d: fan-out round trip deviates by %g", c.Rank(), diff)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRedistEmptyIntersections: moving between perpendicular
+// single-axis splits, most rank pairs still intersect — but between a
+// 4-way and a 2-way split of the SAME axis, half the pairs share
+// nothing. The plans must simply omit those pairs.
+func TestRedistEmptyIntersections(t *testing.T) {
+	global := topology.Dims{8, 4, 4}
+	decA := MustDecomp(global, topology.Dims{4, 1, 1}, 1)
+	decB := MustDecomp(global, topology.Dims{2, 1, 1}, 1)
+	// Rank 0's src box [0,2) meets dst box 0 [0,4) only; rank 3's box
+	// [6,8) meets dst box 1 [4,8) only.
+	p0 := NewRedistPlan(0, decA, decB)
+	if len(p0.sends) != 0 || p0.self == nil {
+		t.Errorf("rank 0: %d sends, self=%v; want pure self overlap", len(p0.sends), p0.self != nil)
+	}
+	p3 := NewRedistPlan(3, decA, decB)
+	if len(p3.sends) != 1 || p3.sends[0].peer != 1 || p3.self != nil {
+		t.Errorf("rank 3: wants exactly one send to rank 1, got %+v self=%v", p3.sends, p3.self != nil)
+	}
+	err := mpi.Run(4, mpi.ThreadSingle, func(c *mpi.Comm) {
+		a := fillLocal(decA, decA.Procs.Coord(c.Rank()), 1)
+		var b *Grid
+		if c.Rank() < decB.NumProcs() {
+			b = NewDims(decB.LocalDims(decB.Procs.Coord(c.Rank())), 1)
+		}
+		Redistribute(c, decA, decB, a, b, 303)
+		if b != nil {
+			checkLocal(t, decB, decB.Procs.Coord(c.Rank()), b, "same-axis shrink")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntersectBox pins the box-overlap primitive, in particular that
+// touching boxes (sharing only a face) do NOT intersect.
+func TestIntersectBox(t *testing.T) {
+	for _, tc := range []struct {
+		aLo   topology.Coord
+		aDim  topology.Dims
+		bLo   topology.Coord
+		bDim  topology.Dims
+		ok    bool
+		lo    topology.Coord
+		dims  topology.Dims
+		label string
+	}{
+		{topology.Coord{0, 0, 0}, topology.Dims{4, 4, 4}, topology.Coord{2, 2, 2}, topology.Dims{4, 4, 4},
+			true, topology.Coord{2, 2, 2}, topology.Dims{2, 2, 2}, "overlap"},
+		{topology.Coord{0, 0, 0}, topology.Dims{4, 4, 4}, topology.Coord{4, 0, 0}, topology.Dims{4, 4, 4},
+			false, topology.Coord{}, topology.Dims{}, "touching faces"},
+		{topology.Coord{0, 0, 0}, topology.Dims{8, 8, 8}, topology.Coord{3, 3, 3}, topology.Dims{2, 2, 2},
+			true, topology.Coord{3, 3, 3}, topology.Dims{2, 2, 2}, "containment"},
+		{topology.Coord{0, 0, 0}, topology.Dims{2, 2, 2}, topology.Coord{5, 5, 5}, topology.Dims{2, 2, 2},
+			false, topology.Coord{}, topology.Dims{}, "disjoint"},
+		{topology.Coord{1, 1, 1}, topology.Dims{3, 3, 3}, topology.Coord{1, 1, 1}, topology.Dims{3, 3, 3},
+			true, topology.Coord{1, 1, 1}, topology.Dims{3, 3, 3}, "identical"},
+	} {
+		lo, dims, ok := IntersectBox(tc.aLo, tc.aDim, tc.bLo, tc.bDim)
+		if ok != tc.ok || (ok && (lo != tc.lo || dims != tc.dims)) {
+			t.Errorf("%s: IntersectBox = (%v, %v, %v), want (%v, %v, %v)",
+				tc.label, lo, dims, ok, tc.lo, tc.dims, tc.ok)
+		}
+	}
+}
+
+// FuzzRedistributeRoundTrip drives random (global, procsA, procsB,
+// halo) tuples through the A -> B -> A round trip; the seed corpus in
+// testdata/fuzz pins the degenerate shapes above plus asymmetric mixes.
+func FuzzRedistributeRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})       // 4^3, 1x1x1 -> 1x1x1
+	f.Add([]byte{4, 4, 4, 1, 1, 1, 0, 0, 0, 1})       // 8^3, 2x2x2 -> 1x1x1
+	f.Add([]byte{4, 0, 0, 3, 0, 0, 1, 0, 0, 0})       // same-axis 4-way -> 2-way
+	f.Add([]byte{5, 3, 8, 0, 1, 2, 2, 0, 1, 2})       // asymmetric mix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 10 {
+			return
+		}
+		global := topology.Dims{4 + int(data[0])%9, 4 + int(data[1])%9, 4 + int(data[2])%9}
+		procsA := topology.Dims{1 + int(data[3])%3, 1 + int(data[4])%3, 1 + int(data[5])%3}
+		procsB := topology.Dims{1 + int(data[6])%3, 1 + int(data[7])%3, 1 + int(data[8])%3}
+		halo := int(data[9]) % 3
+		decA, errA := NewDecomp(global, procsA, halo)
+		decB, errB := NewDecomp(global, procsB, halo)
+		if errA != nil || errB != nil {
+			return
+		}
+		ranks := max(decA.NumProcs(), decB.NumProcs())
+		err := mpi.Run(ranks, mpi.ThreadSingle, func(c *mpi.Comm) {
+			var a, b, back *Grid
+			if c.Rank() < decA.NumProcs() {
+				a = fillLocal(decA, decA.Procs.Coord(c.Rank()), halo)
+				back = NewDims(a.Dims(), halo)
+			}
+			if c.Rank() < decB.NumProcs() {
+				b = NewDims(decB.LocalDims(decB.Procs.Coord(c.Rank())), halo)
+			}
+			Redistribute(c, decA, decB, a, b, 304)
+			if b != nil {
+				checkLocal(t, decB, decB.Procs.Coord(c.Rank()), b, "fuzz A->B")
+			}
+			Redistribute(c, decB, decA, b, back, 305)
+			if back != nil {
+				if diff := back.MaxAbsDiff(a); diff != 0 {
+					t.Errorf("%v->%v->%v (global %v, halo %d): round trip deviates by %g",
+						procsA, procsB, procsA, global, halo, diff)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("global %v %v->%v halo %d: %v", global, procsA, procsB, halo, err)
+		}
+	})
+}

@@ -309,5 +309,5 @@ func (c *Comm) Split(color, key int) *Comm {
 			newRank = i
 		}
 	}
-	return &Comm{world: c.world, rank: newRank, group: group, active: c.active, ctx: ctx}
+	return &Comm{world: c.world, rank: newRank, group: group, active: c.active, ctx: ctx, epoch: c.epoch}
 }

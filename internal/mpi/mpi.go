@@ -50,10 +50,11 @@ const AnyTag = -1
 
 // envelope is a message in flight: an eager copy of the sender's data.
 type envelope struct {
-	src  int // sender's rank in the destination communicator
-	tag  int
-	data []float64
-	seq  uint64 // arrival order stamp, for deterministic matching
+	src   int // sender's rank in the destination communicator
+	tag   int
+	data  []float64
+	seq   uint64 // arrival order stamp, for deterministic matching
+	epoch int    // fault-tolerance epoch the message belongs to
 }
 
 // mailbox holds a rank's unmatched arrived messages and posted
@@ -86,6 +87,24 @@ type World struct {
 	pending map[*Request]struct{}
 	reqFree []*Request // completed requests handed back by Reclaim
 	aborted bool
+
+	// Fault-tolerance state (see fault.go). ftOn gates every hot-path
+	// check behind one atomic load, so worlds that never arm faults pay
+	// nothing beyond it.
+	ftOn         atomic.Bool
+	plan         *FaultPlan
+	killAt       []int64 // per-rank op-count kill threshold, -1 = never
+	ops          []int64 // per-rank op counters, guarded by deadMu
+	deadMu       sync.Mutex
+	dead         []bool
+	deadList     []int        // world ranks in death order
+	epoch        atomic.Int64 // current epoch, advanced by Shrink
+	revokedEpoch atomic.Int64 // highest poisoned epoch (-1: none)
+	opTimeout    atomic.Int64 // blocking-wait timeout in ns (0: off)
+
+	agreeMu     sync.Mutex
+	agreeCond   *sync.Cond
+	agreeRounds map[agreeKey]*agreeRound
 }
 
 // NewWorld creates a world of n ranks with the given thread mode.
@@ -98,6 +117,8 @@ func NewWorld(n int, mode ThreadMode) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
+	w.revokedEpoch.Store(-1)
+	w.agreeCond = sync.NewCond(&w.agreeMu)
 	return w
 }
 
@@ -177,6 +198,16 @@ type Comm struct {
 	// order, so the local counter agrees across ranks and feeds the
 	// deterministic child-context derivation.
 	splits uint64
+
+	// epoch is the fault-tolerance epoch the communicator belongs to.
+	// The initial world and everything Split from it live in epoch 0; a
+	// rank death revokes the current epoch (all its operations fail
+	// fast) and Shrink starts the next. Requests and envelopes carry
+	// their communicator's epoch, and matching requires equal epochs.
+	epoch int
+	// agreeSeq counts Agree calls, like coll for collectives: all ranks
+	// call Agree in the same order, so the local counters line up.
+	agreeSeq uint64
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -188,8 +219,13 @@ func (c *Comm) Size() int { return len(c.group) }
 // World returns the underlying world.
 func (c *Comm) World() *World { return c.world }
 
-// enter/exit implement the SINGLE-mode misuse detector.
+// enter/exit implement the SINGLE-mode misuse detector and, once the
+// fault machinery is armed, the per-operation fault hook (poisoned-
+// epoch fail-fast, injected jitter, scheduled kills).
 func (c *Comm) enter() {
+	if c.world.ftOn.Load() {
+		c.faultPoint()
+	}
 	if c.world.mode == ThreadSingle {
 		if n := atomic.AddInt32(c.active, 1); n > 1 {
 			panic("mpi: concurrent MPI calls from multiple threads in SINGLE mode")
@@ -208,7 +244,20 @@ func (c *Comm) exit() {
 // wins); remaining ranks may deadlock-free finish or be abandoned — the
 // world must not be reused after an error.
 func Run(n int, mode ThreadMode, body func(c *Comm)) error {
+	return RunWithFaults(n, mode, nil, body)
+}
+
+// RunWithFaults is Run with a fault-injection plan armed (nil behaves
+// exactly like Run). A rank killed by the plan — or by Comm.Fail —
+// exits quietly rather than failing the world: surviving ranks observe
+// the death as *ErrRankFailed panics and decide for themselves whether
+// to recover (Agree/Shrink) or unwind; only an unrecovered panic
+// reaching Run is reported as the returned error.
+func RunWithFaults(n int, mode ThreadMode, plan *FaultPlan, body func(c *Comm)) error {
 	w := NewWorld(n, mode)
+	if plan != nil {
+		w.installPlan(plan)
+	}
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 	group := make([]int, n)
@@ -222,6 +271,15 @@ func Run(n int, mode ThreadMode, body func(c *Comm)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if _, ok := p.(rankKilled); ok {
+						// Injected death: the rank just exits.
+						return
+					}
+					if w.isDead(r) {
+						// Death throes of an already-killed rank (e.g. a
+						// worker thread unwinding with the failure error).
+						return
+					}
 					firstErr.CompareAndSwap(nil, fmt.Errorf("mpi: rank %d panicked: %v", r, p))
 					// Unblock every other rank so the process can unwind.
 					w.abort()
@@ -266,7 +324,11 @@ func (c *Comm) send(to, tag int, data []float64) {
 // negative tags so they can never collide with user point-to-point
 // traffic.
 func (c *Comm) sendInternal(to, tag int, data []float64) {
-	box := c.world.boxes[c.worldRank(to)]
+	toW := c.worldRank(to)
+	if c.world.ftOn.Load() {
+		c.world.checkPeer(c.epoch, toW)
+	}
+	box := c.world.boxes[toW]
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	box.seq++
@@ -274,9 +336,10 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 	// delivers straight from the sender's buffer into the posted one —
 	// no envelope, no intermediate copy, no allocation — which makes the
 	// split-phase exchange loops (receives posted up front, sends
-	// following) allocation-free in steady state.
+	// following) allocation-free in steady state. Epochs must agree so a
+	// pre-failure send can never complete a post-recovery receive.
 	for i, pr := range box.posted {
-		if pr == nil {
+		if pr == nil || pr.epoch != c.epoch {
 			continue
 		}
 		if (pr.prSrc == AnySource || pr.prSrc == c.rank) && (pr.prTag == AnyTag || pr.prTag == tag) {
@@ -287,7 +350,7 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 			return
 		}
 	}
-	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...), seq: box.seq}
+	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...), seq: box.seq, epoch: c.epoch}
 	box.arrived = append(box.arrived, env)
 	box.cond.Broadcast()
 }
@@ -296,15 +359,25 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 // completes the request. Caller holds the mailbox lock. A message larger
 // than the posted buffer is a truncation error, surfaced as a panic at
 // the receiver's Wait (never in the sender's goroutine, which may be a
-// different rank).
+// different rank). The copy happens under the request lock after the
+// done check, so a request already completed by a failure revocation
+// can never have its abandoned buffer written.
 func completeRecv(pr *Request, src, tag int, data []float64) {
-	n := copy(pr.buf, data)
-	if len(data) > len(pr.buf) {
-		pr.completeErr(src, tag, n,
-			fmt.Errorf("mpi: message of %d values truncated into buffer of %d", len(data), len(pr.buf)))
+	pr.mu.Lock()
+	if pr.done {
+		pr.mu.Unlock()
 		return
 	}
-	pr.complete(src, tag, n)
+	n := copy(pr.buf, data)
+	var err error
+	if len(data) > len(pr.buf) {
+		err = fmt.Errorf("mpi: message of %d values truncated into buffer of %d", len(data), len(pr.buf))
+	}
+	pr.done = true
+	pr.src, pr.tag, pr.n = src, tag, n
+	pr.err = err
+	pr.mu.Unlock()
+	pr.cond.Broadcast()
 }
 
 // Recv blocks until a message matching (from, tag) arrives, copies it
@@ -337,25 +410,49 @@ func (c *Comm) Irecv(from, tag int, buf []float64) *Request {
 }
 
 func (c *Comm) irecv(from, tag int, buf []float64) *Request {
+	ft := c.world.ftOn.Load()
 	box := c.world.boxes[c.worldRank(c.rank)]
 	req := c.world.getRequest()
 	req.prSrc, req.prTag, req.buf = from, tag, buf
+	req.owner = c.group[c.rank]
+	req.epoch = c.epoch
 	box.mu.Lock()
-	defer box.mu.Unlock()
 	// Match the earliest arrived envelope (FIFO per source/tag is
-	// guaranteed because arrived is scanned in arrival order).
+	// guaranteed because arrived is scanned in arrival order). Epochs
+	// must agree: a message stranded by a failed epoch is never
+	// delivered into a recovered one.
 	for i, env := range box.arrived {
-		if env == nil {
+		if env == nil || env.epoch != c.epoch {
 			continue
 		}
 		if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
 			box.arrived = append(box.arrived[:i], box.arrived[i+1:]...)
+			box.mu.Unlock()
 			completeRecv(req, env.src, env.tag, env.data)
 			return req
 		}
 	}
 	box.posted = append(box.posted, req)
+	idx := len(box.posted) - 1
 	c.world.track(req)
+	// Fault checks must come after the request is tracked: a revocation
+	// that raced ahead of the post has already swept the pending set, so
+	// re-checking here guarantees the request can never be stranded.
+	var failErr error
+	var deadPeer = -1
+	if ft {
+		if int64(c.epoch) <= c.world.revokedEpoch.Load() {
+			failErr = c.world.failure()
+		} else if from != AnySource && from >= 0 && from < len(c.group) {
+			if fw := c.group[from]; c.world.isDead(fw) {
+				failErr = &ErrRankFailed{Rank: fw}
+				deadPeer = fw
+			}
+		}
+		if failErr != nil {
+			box.posted[idx] = nil
+		}
+	}
 	// Garbage-collect matched slots occasionally to bound growth.
 	if len(box.posted) > 64 {
 		live := box.posted[:0]
@@ -365,6 +462,14 @@ func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 			}
 		}
 		box.posted = live
+	}
+	box.mu.Unlock()
+	if failErr != nil {
+		c.world.untrack(req)
+		if deadPeer >= 0 {
+			c.world.revoke(int64(c.epoch), deadPeer)
+		}
+		req.completeErr(AnySource, AnyTag, 0, failErr)
 	}
 	return req
 }
@@ -392,8 +497,16 @@ func (c *Comm) Probe(from, tag int) (src, gotTag, n int) {
 		if box.aborted {
 			panic(errAborted)
 		}
+		if c.world.ftOn.Load() {
+			if me := c.group[c.rank]; c.world.isDead(me) {
+				panic(rankKilled{me})
+			}
+			if int64(c.epoch) <= c.world.revokedEpoch.Load() {
+				panic(c.world.failure())
+			}
+		}
 		for _, env := range box.arrived {
-			if env == nil {
+			if env == nil || env.epoch != c.epoch {
 				continue
 			}
 			if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {

@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Request tracks the completion of a non-blocking operation, like
 // MPI_Request. Requests are created by Isend/Irecv and completed by the
@@ -28,6 +31,13 @@ type Request struct {
 	// separate pendingRecv struct used to play).
 	prSrc, prTag int
 	buf          []float64
+
+	// owner is the world rank that posted the request and epoch the
+	// fault-tolerance epoch it was posted in; both are written before
+	// the request is published and read by failure revocation and the
+	// timeout diagnostics.
+	owner int
+	epoch int
 
 	// w is the world whose free pool the request returns to on Reclaim
 	// (nil for requests constructed outside a world, e.g. in tests).
@@ -67,6 +77,7 @@ func (r *Request) reset() {
 	r.err = nil
 	r.prSrc, r.prTag = 0, 0
 	r.buf = nil
+	r.owner, r.epoch = 0, 0
 	r.mu.Unlock()
 }
 
@@ -110,17 +121,44 @@ func (r *Request) completeErr(src, tag, n int, err error) {
 
 // Wait blocks until the operation completes and returns the message
 // source, tag and value count (sends report their own rank and length).
-// Delivery errors panic in the caller, to be recovered by Run.
+// Delivery errors panic in the caller, to be recovered by Run. When the
+// world has an operation timeout set (World.SetOpTimeout), a wait
+// exceeding it panics with a *TimeoutError carrying the world-wide
+// pending-receive dump instead of blocking forever.
 func (r *Request) Wait() (src, tag, n int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if !r.done && r.w != nil {
+		if to := time.Duration(r.w.opTimeout.Load()); to > 0 {
+			deadline := time.Now().Add(to)
+			// The timer only wakes the waiter so the deadline check runs;
+			// the request itself stays pending.
+			timer := time.AfterFunc(to, func() {
+				r.mu.Lock()
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			})
+			for !r.done && time.Now().Before(deadline) {
+				r.cond.Wait()
+			}
+			timer.Stop()
+			if !r.done {
+				te := &TimeoutError{After: to, Rank: r.owner, Peer: r.prSrc, Tag: r.prTag}
+				r.mu.Unlock()
+				te.Pending = r.w.PendingOps()
+				panic(te)
+			}
+		}
+	}
 	for !r.done {
 		r.cond.Wait()
 	}
 	if r.err != nil {
+		r.mu.Unlock()
 		panic(r.err)
 	}
-	return r.src, r.tag, r.n
+	src, tag, n = r.src, r.tag, r.n
+	r.mu.Unlock()
+	return src, tag, n
 }
 
 // Test reports whether the operation has completed, without blocking —

@@ -100,6 +100,11 @@ func (p *Pool) Close() {
 // dispatched, so one missed handoff never delays the rest and a nested
 // Exec cannot deadlock — the partitioning, and therefore any per-share
 // result, is unchanged either way.
+//
+// A panic in any share is captured and re-raised on the caller after
+// every share has finished (first panic wins), so a failure inside a
+// worker goroutine — an MPI rank-failure error in a hybrid solver, say
+// — unwinds the calling rank instead of crashing the process.
 func (p *Pool) Exec(n int, fn func(worker, lo, hi int)) {
 	w := p.Workers()
 	if w <= 1 || n <= 1 {
@@ -109,6 +114,20 @@ func (p *Pool) Exec(n int, fn func(worker, lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
+	run := func(worker, lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		fn(worker, lo, hi)
+	}
 	var deferred []func()
 	for i := 1; i < w; i++ {
 		lo, ln := topology.Split(n, w, i)
@@ -119,7 +138,7 @@ func (p *Pool) Exec(n int, fn func(worker, lo, hi int)) {
 		wg.Add(1)
 		task := func() {
 			defer wg.Done()
-			fn(i, lo, hi)
+			run(i, lo, hi)
 		}
 		select {
 		case p.state.tasks <- task:
@@ -128,12 +147,15 @@ func (p *Pool) Exec(n int, fn func(worker, lo, hi int)) {
 		}
 	}
 	if lo, ln := topology.Split(n, w, 0); ln > 0 {
-		fn(0, lo, lo+ln)
+		run(0, lo, lo+ln)
 	}
 	for _, task := range deferred {
 		task()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // Cache-block extents for the tiled stencil traversal: within a

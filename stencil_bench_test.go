@@ -388,7 +388,7 @@ func TestWriteStencilBenchJSON(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile("BENCH_stencil.json", append(out, '\n'), 0o644); err != nil {
+		if err := writeFileAtomic("BENCH_stencil.json", append(out, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
