@@ -8,7 +8,12 @@
 //
 // Experiments: table1, fig2, fig5a (no batching), fig5b (batch 8), fig6,
 // fig7, headline, ablations, dist, bands, faults (rank-failure
-// injection + shrink-to-survivors recovery), all.
+// injection + shrink-to-survivors recovery), netmodel (calibrated
+// transport at 64..4096 simulated ranks x rank placements), all.
+//
+// -netmodel arms the calibrated network model on the live-runtime dist
+// experiment (deterministic virtual makespans instead of wall time);
+// -map picks the rank placement on the simulated torus for such runs.
 package main
 
 import (
@@ -18,15 +23,25 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/topology"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, faults, all")
+		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, faults, netmodel, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
+	netmodel := flag.Bool("netmodel", false,
+		"arm the calibrated network model on the live-runtime experiments (dist)")
+	mapFlag := flag.String("map", "",
+		"rank placement on the simulated torus for -netmodel runs: linear, cart, shuffle")
 	flag.Parse()
 
-	opts := bench.Options{Quick: *quick}
+	mapping, err := topology.ParseMapping(*mapFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpawsim: %v\n", err)
+		os.Exit(2)
+	}
+	opts := bench.Options{Quick: *quick, NetModel: *netmodel, Map: mapping}
 	drivers := map[string]func() []*bench.Experiment{
 		"table1":   func() []*bench.Experiment { return []*bench.Experiment{bench.Table1()} },
 		"fig2":     func() []*bench.Experiment { return []*bench.Experiment{bench.Figure2(opts)} },
@@ -38,6 +53,7 @@ func main() {
 		"dist":     func() []*bench.Experiment { return []*bench.Experiment{bench.DistSolvers(opts)} },
 		"bands":    func() []*bench.Experiment { return []*bench.Experiment{bench.BandSolvers(opts)} },
 		"faults":   func() []*bench.Experiment { return []*bench.Experiment{bench.Faults(opts)} },
+		"netmodel": func() []*bench.Experiment { return []*bench.Experiment{bench.NetScaling(opts)} },
 		"ablations": func() []*bench.Experiment {
 			return []*bench.Experiment{
 				bench.AblationLatencyHiding(opts),
@@ -51,7 +67,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands", "faults"}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands", "faults", "netmodel"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -7,7 +7,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/bgpsim"
 	"repro/internal/core"
 	"repro/internal/gpaw"
 	"repro/internal/grid"
@@ -48,6 +50,37 @@ func summaOnce(a, b linalg.Matrix, pr, pc, blockSize int) linalg.Matrix {
 		panic(err)
 	}
 	return out
+}
+
+// summaOnceModeled is summaOnce under the calibrated network model on a
+// simulated torus, with the 2D grid placed by the given mapping. It
+// returns the replicated product (nil off rank 0) and the deterministic
+// virtual makespan of the multiply.
+func summaOnceModeled(a, b linalg.Matrix, pr, pc, blockSize int, m topology.Mapping) (linalg.Matrix, time.Duration) {
+	nm := bgpsim.NetModelFor(pr * pc)
+	nm.Coords = pblas.MapGrid2D(pr, pc, nm.Net, m)
+	nm.NoComputeWall = true
+	var out linalg.Matrix
+	mk, err := mpi.RunModeled(pr*pc, mpi.ThreadSingle, nm, func(c *mpi.Comm) {
+		g, err := pblas.NewGrid2D(c, pr, pc)
+		if err != nil {
+			panic(err)
+		}
+		da := pblas.FromReplicated(g, a, blockSize, blockSize)
+		db := pblas.FromReplicated(g, b, blockSize, blockSize)
+		dc, err := pblas.MatMul(da, db)
+		if err != nil {
+			panic(err)
+		}
+		rep := dc.Replicate()
+		if c.Rank() == 0 {
+			out = rep
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out, mk
 }
 
 // benchMatrices builds deterministic n x n operands.
@@ -147,6 +180,12 @@ type eigenBenchReport struct {
 	// Bit-identity of the Ritz values across every measured layout —
 	// asserted, because it is deterministic.
 	RitzValuesIdentical bool `json:"ritz_values_identical"`
+	// SUMMA re-run under the calibrated BG/P network model: virtual
+	// makespan of one multiply per simulated grid shape and, at 64
+	// ranks, per rank placement (the product is asserted bit-identical
+	// to the eager run). Deterministic model predictions, not host
+	// measurements.
+	SummaVirtUsCalibrated map[string]float64 `json:"summa_virt_us_calibrated"`
 }
 
 // TestWriteEigenBenchJSON measures the band-parallel subspace layer
@@ -199,6 +238,34 @@ func TestWriteEigenBenchJSON(t *testing.T) {
 	for _, shape := range [][2]int{{1, 1}, {1, 2}, {2, 2}} {
 		ns := timeApply(reps, func() { summaOnce(am, bm, shape[0], shape[1], 8) })
 		rep.SummaNs[fmt.Sprintf("grid%dx%d", shape[0], shape[1])] = ns
+	}
+
+	// SUMMA under the calibrated transport: paper-scale simulated grids,
+	// with the 64-rank multiply additionally compared across placements.
+	// The model only reorders time, so the product must equal the eager
+	// run's bitwise.
+	rep.SummaVirtUsCalibrated = map[string]float64{}
+	eagerProduct := summaOnce(am, bm, 4, 4, 8)
+	for _, shape := range [][2]int{{2, 2}, {4, 4}, {8, 8}} {
+		out, mk := summaOnceModeled(am, bm, shape[0], shape[1], 8, topology.MapCart)
+		rep.SummaVirtUsCalibrated[fmt.Sprintf("grid%dx%d", shape[0], shape[1])] = float64(mk) / 1e3
+		if shape == [2]int{4, 4} {
+			for i := range out {
+				for j := range out[i] {
+					if out[i][j] != eagerProduct[i][j] {
+						t.Fatalf("calibrated SUMMA product deviates from eager at (%d,%d): %.17g vs %.17g",
+							i, j, out[i][j], eagerProduct[i][j])
+					}
+				}
+			}
+		}
+	}
+	_, cartMk := summaOnceModeled(am, bm, 8, 8, 8, topology.MapCart)
+	_, shufMk := summaOnceModeled(am, bm, 8, 8, 8, topology.MapShuffle)
+	rep.SummaVirtUsCalibrated["grid8x8_cart"] = float64(cartMk) / 1e3
+	rep.SummaVirtUsCalibrated["grid8x8_shuffle"] = float64(shufMk) / 1e3
+	if cartMk >= shufMk {
+		t.Errorf("64-rank SUMMA: cart placement (%v) not cheaper than shuffle (%v)", cartMk, shufMk)
 	}
 	if os.Getenv("BENCH_EIGEN_JSON") != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")

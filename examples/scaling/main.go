@@ -83,6 +83,42 @@ func distSOR(global topology.Dims, procs topology.Dims, rhs *grid.Grid, h float6
 	})
 }
 
+// distCGModeled solves the same CG problem under the calibrated network
+// model and returns the iteration count and the deterministic virtual
+// makespan. serialized forces the exchange-then-compute baseline in
+// place of the split-phase overlap.
+func distCGModeled(global, procs topology.Dims, rhs *grid.Grid, h float64, serialized bool) (int, time.Duration) {
+	cfg := gpaw.DistConfig{
+		Global: global, Procs: procs, Halo: 2, BC: gpaw.Periodic,
+		Approach: core.FlatOptimized, Batch: 1,
+		NoOverlap: serialized, NetCompute: true,
+	}
+	var iters int
+	m := bgpsim.NetModelFor(procs.Count())
+	m.Coords = gpaw.NetCoords(cfg, m.Net)
+	m.NoComputeWall = true
+	mk, err := mpi.RunModeled(procs.Count(), mpi.ThreadSingle, m, func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, h)
+		phi := d.NewLocalGrid()
+		it, _, err := ps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			iters = it
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return iters, mk
+}
+
 func main() {
 	fmt.Println("weak scaling on the Blue Gene/P model: grids = cores, 192^3, batch 8")
 	fmt.Printf("%8s  %14s %14s %14s %14s\n",
@@ -147,27 +183,29 @@ func main() {
 	fmt.Println("with the decomposition; no rank gathers the global grid")
 
 	// Split-phase overlap: the same CG problem with the halo exchange
-	// overlapped with deep-interior compute (flat optimized) versus the
-	// serialized exchange-then-compute baseline (flat original). Both
-	// produce bit-identical iterates; only the schedule differs.
-	fmt.Println("\noverlap vs serialized strong scaling, same CG problem:")
-	fmt.Printf("%8s %8s %8s %12s %12s %9s\n", "ranks", "layout", "iters", "overlap", "serialized", "speedup")
-	cg := func(ps *gpaw.DistPoisson, phi, rhs *grid.Grid) (int, float64, error) {
-		return ps.SolveCG(phi, rhs)
-	}
-	for _, procs := range []topology.Dims{{1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
-		itO, _, dtO := distSolveApproach(global, procs, rhs, h, core.FlatOptimized, cg)
-		itS, _, dtS := distSolveApproach(global, procs, rhs, h, core.FlatOriginal, cg)
+	// overlapped with deep-interior compute versus the serialized
+	// exchange-then-compute baseline. On the in-process eager transport
+	// delivery is free, so host wall times CANNOT show an overlap win —
+	// they only bound the protocol's structural overhead at ~1.0x. The
+	// comparison therefore runs under the calibrated Blue Gene/P network
+	// model, whose deterministic virtual makespans price every message;
+	// both schedules still produce bit-identical iterates.
+	fmt.Println("\noverlap vs serialized, same CG problem, calibrated network model:")
+	fmt.Printf("%8s %8s %8s %14s %14s %9s\n", "ranks", "layout", "iters", "overlap", "serialized", "speedup")
+	for _, procs := range []topology.Dims{{2, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
+		itO, mkO := distCGModeled(global, procs, rhs, h, false)
+		itS, mkS := distCGModeled(global, procs, rhs, h, true)
 		if itO != itS {
 			panic(fmt.Sprintf("overlap took %d iterations, serialized %d — solver not bit-identical", itO, itS))
 		}
-		fmt.Printf("%8d %8s %8d %11.3fs %11.3fs %8.2fx\n",
-			procs.Count(), procs.String(), itO, dtO.Seconds(), dtS.Seconds(),
-			dtS.Seconds()/dtO.Seconds())
+		fmt.Printf("%8d %8s %8d %11.1fus %11.1fus %8.2fx\n",
+			procs.Count(), procs.String(), itO, float64(mkO)/1e3, float64(mkS)/1e3,
+			float64(mkS)/float64(mkO))
 	}
 	fmt.Println("\nthe overlapped solver posts every halo message up front, sweeps the")
 	fmt.Println("deep interior while they travel and finishes the one-cell boundary")
-	fmt.Println("shell after the exchange — same bits, communication latency hidden")
+	fmt.Println("shell after the exchange — same bits, and under modeled message")
+	fmt.Println("costs the hidden latency shows up as a real speedup")
 
 	// Band parallelization: the second axis. Eight wave-functions in a
 	// harmonic trap are split across band groups; subspace assembly,

@@ -15,6 +15,14 @@ type Options struct {
 	Quick bool
 	// Params overrides the calibrated machine model when non-zero.
 	Params bgpsim.Params
+	// NetModel arms the calibrated network model on the live-runtime
+	// experiments (dist): every message pays modeled latency/bandwidth
+	// cost and the time column reports deterministic virtual makespans
+	// instead of host wall time.
+	NetModel bool
+	// Map picks the rank placement on the simulated torus for
+	// NetModel runs (linear, cart, shuffle).
+	Map topology.Mapping
 }
 
 func (o Options) params() bgpsim.Params {

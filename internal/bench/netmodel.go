@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/bgpsim"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// NetScaling runs the calibrated network model on the live transport at
+// paper-scale simulated rank counts (64 .. 4096) and compares rank
+// placements. Full solves are too heavy at 4096 in-process ranks, so the
+// workload is the communication skeleton of one SCF iteration: a few
+// rounds of six-face halo exchange (two 16^2 planes per face, the
+// paper's halo width) each closed by a scalar allreduce. Virtual
+// makespans are deterministic (NoComputeWall), so the Cartesian-embed
+// vs shuffled-placement ordering is asserted in the notes, not just
+// eyeballed — the section V mapping experiment on the real runtime.
+func NetScaling(opts Options) *Experiment {
+	e := &Experiment{
+		Name: "netmodel",
+		Caption: "calibrated transport at scale: halo-exchange + allreduce rounds on the\n" +
+			"live runtime, virtual makespan per simulated rank count x rank placement",
+		Header: []string{"ranks", "procs", "network", "mapping", "makespan (virt)"},
+	}
+	rankCounts := []int{64, 512, 4096}
+	rounds := 3
+	if opts.Quick {
+		rankCounts = []int{64}
+		rounds = 2
+	}
+	const faceElems = 2 * 16 * 16 // halo width 2 over a 16^2 local face
+	mappings := []topology.Mapping{topology.MapLinear, topology.MapCart, topology.MapShuffle}
+	ordered := true
+	for _, p := range rankCounts {
+		procs := topology.BalancedDims(p)
+		var cart, shuffle float64
+		for _, mapping := range mappings {
+			m := bgpsim.NetModelFor(p)
+			m.Coords = topology.MapGrid(procs, m.Net, mapping)
+			m.NoComputeWall = true
+			mk, err := mpi.RunModeled(p, mpi.ThreadSingle, m, func(c *mpi.Comm) {
+				haloRounds(c, procs, faceElems, rounds)
+			})
+			if err != nil {
+				panic(fmt.Sprintf("bench: netmodel %d ranks %v: %v", p, mapping, err))
+			}
+			net := "mesh"
+			if m.Net.Torus {
+				net = "torus"
+			}
+			e.AddRow(fmt.Sprintf("%d", p), procs.String(),
+				fmt.Sprintf("%s %v", net, m.Net.Dims), mapping.String(),
+				fmt.Sprintf("%9.1f us", float64(mk)/1e3))
+			switch mapping {
+			case topology.MapCart:
+				cart = float64(mk)
+			case topology.MapShuffle:
+				shuffle = float64(mk)
+			}
+		}
+		if cart >= shuffle {
+			ordered = false
+		}
+	}
+	if ordered {
+		e.AddNote("Cartesian embedding beat the shuffled placement at every rank count")
+	} else {
+		e.AddNote("DEVIATION: a shuffled placement matched or beat the Cartesian embedding")
+	}
+	e.AddNote("workload: %d rounds of six-face halo exchange (%d doubles/face) + allreduce; "+
+		"costs from the bgpsim Figure-2 fit", rounds, faceElems)
+	return e
+}
+
+// haloRounds exchanges all six faces with the periodic neighbours on the
+// procs grid, then allreduces a scalar — repeated rounds times.
+func haloRounds(c *mpi.Comm, procs topology.Dims, faceElems, rounds int) {
+	const tag0 = 9100
+	coord := procs.Coord(c.Rank())
+	send := make([]float64, faceElems)
+	for i := range send {
+		send[i] = float64(c.Rank()*faceElems + i)
+	}
+	recvLo := make([]float64, faceElems)
+	recvHi := make([]float64, faceElems)
+	sum := 0.0
+	for r := 0; r < rounds; r++ {
+		for dim := 0; dim < 3; dim++ {
+			if procs[dim] == 1 {
+				continue
+			}
+			lo, hi := coord, coord
+			lo[dim] = (coord[dim] - 1 + procs[dim]) % procs[dim]
+			hi[dim] = (coord[dim] + 1) % procs[dim]
+			loRank, hiRank := procs.Rank(lo), procs.Rank(hi)
+			tag := tag0 + 2*dim
+			reqs := []*mpi.Request{
+				c.Irecv(loRank, tag, recvLo),
+				c.Irecv(hiRank, tag+1, recvHi),
+				c.Isend(hiRank, tag, send),
+				c.Isend(loRank, tag+1, send),
+			}
+			for _, q := range reqs {
+				q.Wait()
+			}
+		}
+		sum = c.AllreduceSum(sum + 1)
+	}
+}

@@ -1,0 +1,43 @@
+package bgpsim
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Bridge to the live transport's network model. internal/mpi sits below
+// this package in the dependency order (bgpsim's protocol simulation
+// imports internal/core, which is built on mpi), so mpi carries its own
+// NetParams struct and the conversion lives here: the same Figure-2
+// calibration that drives the discrete-event simulator prices every
+// Send/Recv of the real in-process runtime.
+
+// NetParams converts the calibrated cost model into the transport-level
+// parameter set of internal/mpi's network model.
+func (p Params) NetParams() mpi.NetParams {
+	return mpi.NetParams{
+		MsgLatency:         p.MsgLatency,
+		HopLatency:         p.HopLatency,
+		PostCost:           p.PostCost,
+		MultipleLock:       p.MultipleLock,
+		DMAPerMsg:          p.DMAPerMsg,
+		LinkBandwidth:      p.EffLinkBandwidth(),
+		IntraNodeLatency:   p.IntraNodeLatency,
+		IntraNodeBandwidth: p.IntraNodeBandwidth,
+		MeshSharePenalty:   p.MeshSharePenalty,
+	}
+}
+
+// NetModelFor returns the default calibrated network model for an
+// n-rank world: DefaultParams over the Blue Gene/P partition shape for
+// n nodes (torus at >= 512), one rank per node in row-major order.
+// Callers wanting a different placement overwrite Coords (see
+// topology.MapGrid / MapBands) before arming the model.
+func NetModelFor(n int) *mpi.NetModel {
+	net := topology.PartitionFor(n)
+	return &mpi.NetModel{
+		Params: DefaultParams().NetParams(),
+		Net:    net,
+		Coords: topology.MapGrid(net.Dims, net, topology.MapLinear),
+	}
+}

@@ -3,7 +3,9 @@ package gpaw
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/bgpsim"
 	"repro/internal/core"
 	"repro/internal/detsum"
 	"repro/internal/grid"
@@ -80,6 +82,32 @@ type DistConfig struct {
 	// approach except FlatOriginal, whose defining property is the
 	// absence of every section-V optimization.
 	NoOverlap bool
+
+	// Map selects how NetCoords places this layout onto a network's
+	// nodes when a calibrated transport model is armed (see
+	// mpi.NetModel): linear fill, Cartesian embedding or worst-case
+	// shuffle. It only affects modeled message costs, never results.
+	Map topology.Mapping
+
+	// NetCompute charges the calibrated per-point stencil cost
+	// (bgpsim's PointTime over this config's operator shape and thread
+	// count) to the rank's virtual clock for every fused sweep, so a
+	// NoComputeWall model run has deterministic compute to hide
+	// communication behind. No-op without an armed network model.
+	NetCompute bool
+}
+
+// NetCoords places this configuration's rank layout onto the nodes of
+// a network for mpi.NetModel.Coords: the bands x domain world layout
+// through topology.MapBands (plain MapGrid when domain-only), using
+// cfg.Map as the strategy. Callable before any world exists — the
+// model must be armed before ranks start.
+func NetCoords(cfg DistConfig, net topology.Network) []topology.Coord {
+	bands := cfg.Bands
+	if bands < 1 {
+		bands = 1
+	}
+	return topology.MapBands(bands, cfg.Procs, net, cfg.Map)
 }
 
 // Dist ties one MPI rank into a distributed real-space calculation: the
@@ -118,6 +146,12 @@ type Dist struct {
 	// only touched from the solver's master goroutine.
 	overlap bool
 	exBuf   []*grid.Grid
+
+	// pointNs is the modeled per-point sweep cost in virtual ns charged
+	// through mpi.Comm.Compute (0: charging off). It already includes
+	// the 1/Threads parallel speedup, so charges from concurrently
+	// communicating workers simply add.
+	pointNs float64
 }
 
 // NewDist builds the per-rank distributed context. Every rank of the
@@ -170,7 +204,33 @@ func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
 	d.coord = cart.Coords(cart.Rank())
 	d.off = dec.Offset(d.coord)
 	d.local = dec.LocalDims(d.coord)
+	if cfg.NetCompute {
+		if _, on := comm.World().NetConfig(); on {
+			// Calibrated per-point sweep cost of this config's operator
+			// shape, with the rank's threads computing concurrently.
+			p := bgpsim.DefaultParams()
+			d.pointNs = p.PointTime(shape.FlopsPerPoint(), shape.BytesPerPoint(), cfg.Threads) /
+				float64(cfg.Threads) * 1e9
+		}
+	}
 	return d, nil
+}
+
+// chargePoints charges n stencil points of modeled compute to this
+// rank's virtual clock (no-op unless NetCompute armed the charge rate).
+func (d *Dist) chargePoints(n int) {
+	if d.pointNs > 0 && n > 0 {
+		d.Cart.Compute(time.Duration(float64(n) * d.pointNs))
+	}
+}
+
+// sweepCharges returns the modeled point counts of one fused sweep over
+// a local grid: the halo-free deep interior and the boundary shell.
+func sweepCharges(g *grid.Grid, r int) (interior, shell int) {
+	total := g.Nx * g.Ny * g.Nz
+	ib := stencil.InteriorBlock(g.Nx, g.Ny, g.Nz, r)
+	interior = ib.Points()
+	return interior, total - interior
 }
 
 // Close releases the rank's worker pool.
@@ -221,15 +281,25 @@ func (d *Dist) Stats() core.Stats { return d.eng.Stats() }
 // because the multigrid levels own engines of their own.
 func (d *Dist) withOverlap(eng *core.Engine, g *grid.Grid, full, interior, shell func()) {
 	d.exBuf = append(d.exBuf[:0], g)
+	intPts, shellPts := 0, 0
+	if d.pointNs > 0 {
+		intPts, shellPts = sweepCharges(g, d.Decomp.Halo)
+	}
 	if !d.overlap {
 		eng.Exchange(d.exBuf)
 		full()
+		d.chargePoints(intPts + shellPts)
 		return
 	}
 	h := eng.StartExchange(d.exBuf)
 	interior()
+	// The interior charge lands before FinishExchange's wait, so under a
+	// network model the modeled arrival hides behind modeled compute —
+	// the overlap the calibrated benchmarks measure.
+	d.chargePoints(intPts)
 	eng.FinishExchange(h)
 	shell()
+	d.chargePoints(shellPts)
 }
 
 // --- deterministic global reductions -------------------------------
@@ -351,23 +421,27 @@ func (d *Dist) GatherGlobal(local *grid.Grid) *grid.Grid { return d.gather0(loca
 // except for hybrid master-only, whose defining property is the
 // per-grid fork-join).
 func (d *Dist) forEachExchanged(states []*grid.Grid, f func(gi int, p *stencil.Pool)) {
+	charge := d.stateCharger(states)
 	switch d.Approach {
 	case core.HybridMultiple:
 		d.eng.RunBatchesHybridMultiple(states, func(b core.Batch) {
 			for gi := b.Lo; gi < b.Hi; gi++ {
 				f(gi, nil)
+				charge(1, 1)
 			}
 		})
 	case core.HybridMasterOnly:
 		d.eng.RunBatches(states, func(b core.Batch) {
 			for gi := b.Lo; gi < b.Hi; gi++ {
 				f(gi, d.pool)
+				charge(1, 1)
 			}
 		})
 	default:
 		d.eng.RunBatches(states, func(b core.Batch) {
 			for gi := b.Lo; gi < b.Hi; gi++ {
 				f(gi, nil)
+				charge(1, 1)
 			}
 		})
 	}
@@ -381,6 +455,7 @@ func (d *Dist) forEachExchanged(states []*grid.Grid, f func(gi int, p *stencil.P
 // deep interior across (the shell is O(surface) and stays on the
 // master). Interior must not read halos.
 func (d *Dist) forEachSplit(states []*grid.Grid, interior func(gi int, p *stencil.Pool), shell func(gi int)) {
+	charge := d.stateCharger(states)
 	runAll := func(b core.Batch, f func(gi int)) {
 		for gi := b.Lo; gi < b.Hi; gi++ {
 			f(gi)
@@ -389,17 +464,29 @@ func (d *Dist) forEachSplit(states []*grid.Grid, interior func(gi int, p *stenci
 	switch d.Approach {
 	case core.HybridMultiple:
 		d.eng.RunBatchesSplitHybridMultiple(states,
-			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil) }) },
-			func(b core.Batch) { runAll(b, shell) })
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil); charge(1, 0) }) },
+			func(b core.Batch) { runAll(b, func(gi int) { shell(gi); charge(0, 1) }) })
 	case core.HybridMasterOnly:
 		d.eng.RunBatchesSplit(states,
-			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, d.pool) }) },
-			func(b core.Batch) { runAll(b, shell) })
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, d.pool); charge(1, 0) }) },
+			func(b core.Batch) { runAll(b, func(gi int) { shell(gi); charge(0, 1) }) })
 	default:
 		d.eng.RunBatchesSplit(states,
-			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil) }) },
-			func(b core.Batch) { runAll(b, shell) })
+			func(b core.Batch) { runAll(b, func(gi int) { interior(gi, nil); charge(1, 0) }) },
+			func(b core.Batch) { runAll(b, func(gi int) { shell(gi); charge(0, 1) }) })
 	}
+}
+
+// stateCharger returns a compute-charge hook for per-state sweeps:
+// charge(i, s) adds i interior and s shell sweeps' worth of modeled
+// compute for one state. A no-op closure when charging is off, so the
+// hot loops stay branch-free.
+func (d *Dist) stateCharger(states []*grid.Grid) func(interior, shell int) {
+	if d.pointNs == 0 || len(states) == 0 {
+		return func(int, int) {}
+	}
+	intPts, shellPts := sweepCharges(states[0], d.Decomp.Halo)
+	return func(i, s int) { d.chargePoints(i*intPts + s*shellPts) }
 }
 
 // --- distributed Poisson solvers -----------------------------------

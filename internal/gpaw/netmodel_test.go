@@ -1,0 +1,207 @@
+package gpaw
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bgpsim"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+)
+
+// Transport differential: the calibrated network model only reorders
+// time, never data or matching order, so every solver result must be
+// bit-identical with the model on or off — the guarantee that lets the
+// scaling benchmarks claim their virtual timings describe the very
+// computation the eager tests verified.
+
+// cgUnder runs the distributed CG solve at p ranks over procs, with or
+// without the calibrated model, and returns (iters, residual, gathered
+// field on rank 0, modeled makespan).
+func cgUnder(t *testing.T, p int, procs topology.Dims, a core.Approach, calibrated, noOverlap bool) (int, float64, *grid.Grid, time.Duration) {
+	t.Helper()
+	global := topology.Dims{16, 16, 16}
+	rhs := poissonRHS(global)
+	cfg := DistConfig{
+		Global: global, Procs: procs, Halo: 2, BC: Periodic,
+		Approach: a, Threads: threadsFor(a), Batch: 2,
+		NoOverlap: noOverlap, NetCompute: calibrated,
+	}
+	var it int
+	var res float64
+	var g *grid.Grid
+	body := func(c *mpi.Comm) {
+		d, err := NewDist(c, cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		dps := NewDistPoisson(d, 0.35)
+		phi := d.NewLocalGrid()
+		it0, res0, err := dps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		gg := d.GatherGlobal(phi)
+		if c.Rank() == 0 {
+			it, res, g = it0, res0, gg
+		}
+	}
+	var mk time.Duration
+	var err error
+	if calibrated {
+		m := bgpsim.NetModelFor(p)
+		m.Coords = NetCoords(cfg, m.Net)
+		m.NoComputeWall = true
+		mk, err = mpi.RunModeled(p, modeFor(a), m, body)
+	} else {
+		err = mpi.Run(p, modeFor(a), body)
+	}
+	if err != nil {
+		t.Fatalf("p=%d procs %v approach %v calibrated=%v: %v", p, procs, a, calibrated, err)
+	}
+	return it, res, g, mk
+}
+
+// TestEagerVsCalibratedBitIdentical sweeps rank counts x all four
+// approaches and asserts the CG solution, iteration count and residual
+// are bitwise unchanged by arming the calibrated transport model.
+func TestEagerVsCalibratedBitIdentical(t *testing.T) {
+	for _, p := range rankCounts(t) {
+		procs := layoutsFor(p)[len(layoutsFor(p))-1]
+		for _, a := range core.Approaches {
+			eIt, eRes, eG, _ := cgUnder(t, p, procs, a, false, false)
+			cIt, cRes, cG, mk := cgUnder(t, p, procs, a, true, false)
+			if eIt != cIt || eRes != cRes {
+				t.Errorf("p=%d %v approach %v: eager (it,res)=(%d,%.17g), calibrated (%d,%.17g)",
+					p, procs, a, eIt, eRes, cIt, cRes)
+			}
+			if diff := eG.MaxAbsDiff(cG); diff != 0 {
+				t.Errorf("p=%d %v approach %v: calibrated solution deviates by %g", p, procs, a, diff)
+			}
+			if p > 1 && mk <= 0 {
+				t.Errorf("p=%d %v approach %v: calibrated run reports no virtual time", p, procs, a)
+			}
+		}
+	}
+}
+
+// TestWavefrontSORBitIdenticalUnderModel covers the pipelined wavefront
+// path (mpi.Pipe lanes) under the model.
+func TestWavefrontSORBitIdenticalUnderModel(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	rhs := poissonRHS(global)
+	for _, p := range rankCounts(t) {
+		procs := layoutsFor(p)[0]
+		if !feasible(global, procs, 2) {
+			continue
+		}
+		run := func(calibrated bool) (int, float64, *grid.Grid) {
+			cfg := DistConfig{Global: global, Procs: procs, Halo: 2, BC: Dirichlet,
+				Approach: core.FlatOptimized, Threads: 1, Batch: 2, NetCompute: calibrated}
+			var it int
+			var res float64
+			var g *grid.Grid
+			body := func(c *mpi.Comm) {
+				d, err := NewDist(c, cfg)
+				if err != nil {
+					panic(err)
+				}
+				defer d.Close()
+				dps := NewDistPoisson(d, 0.4)
+				dps.Tol = 1e-6
+				phi := d.NewLocalGrid()
+				it0, res0, err := dps.SolveSOR(phi, d.ScatterReplicated(rhs), 1.6)
+				if err != nil {
+					panic(err)
+				}
+				gg := d.GatherGlobal(phi)
+				if c.Rank() == 0 {
+					it, res, g = it0, res0, gg
+				}
+			}
+			var err error
+			if calibrated {
+				m := bgpsim.NetModelFor(p)
+				m.Coords = NetCoords(cfg, m.Net)
+				m.NoComputeWall = true
+				_, err = mpi.RunModeled(p, mpi.ThreadSingle, m, body)
+			} else {
+				err = mpi.Run(p, mpi.ThreadSingle, body)
+			}
+			if err != nil {
+				t.Fatalf("p=%d calibrated=%v: %v", p, calibrated, err)
+			}
+			return it, res, g
+		}
+		eIt, eRes, eG := run(false)
+		cIt, cRes, cG := run(true)
+		if eIt != cIt || eRes != cRes {
+			t.Errorf("p=%d: SOR eager (it,res)=(%d,%.17g), calibrated (%d,%.17g)", p, eIt, eRes, cIt, cRes)
+		}
+		if diff := eG.MaxAbsDiff(cG); diff != 0 {
+			t.Errorf("p=%d: SOR calibrated solution deviates by %g", p, diff)
+		}
+	}
+}
+
+// TestCalibratedOverlapBeatsSerialized: under modeled latency the
+// split-phase protocol's virtual makespan must be strictly below the
+// forced-serialized baseline's — the paper's overlap win, now visible
+// because delivery finally costs something. Deterministic: the model
+// runs with NoComputeWall, so both makespans are exact.
+func TestCalibratedOverlapBeatsSerialized(t *testing.T) {
+	p := 8
+	procs := topology.Dims{2, 2, 2}
+	_, _, _, overlap := cgUnder(t, p, procs, core.FlatOptimized, true, false)
+	_, _, _, serialized := cgUnder(t, p, procs, core.FlatOptimized, true, true)
+	if overlap >= serialized {
+		t.Errorf("overlapped virtual makespan %v not below serialized %v", overlap, serialized)
+	}
+	t.Logf("virtual makespan: overlap %v, serialized %v, speedup %.3fx",
+		overlap, serialized, float64(serialized)/float64(overlap))
+}
+
+// TestMappingSensitivity: at 64 simulated ranks the same exchange costs
+// more under a shuffled placement than under the Cartesian embedding —
+// the mapping experiment of the paper's section V, reproduced on the
+// live transport.
+func TestMappingSensitivity(t *testing.T) {
+	const p = 64
+	global := topology.Dims{32, 32, 32}
+	procs := topology.Dims{4, 4, 4}
+	rhs := poissonRHS(global)
+	run := func(mapping topology.Mapping) time.Duration {
+		cfg := DistConfig{Global: global, Procs: procs, Halo: 2, BC: Periodic,
+			Approach: core.FlatOptimized, Threads: 1, Batch: 2,
+			Map: mapping, NetCompute: true}
+		m := bgpsim.NetModelFor(p)
+		m.Coords = NetCoords(cfg, m.Net)
+		m.NoComputeWall = true
+		mk, err := mpi.RunModeled(p, mpi.ThreadSingle, m, func(c *mpi.Comm) {
+			d, err := NewDist(c, cfg)
+			if err != nil {
+				panic(err)
+			}
+			defer d.Close()
+			dps := NewDistPoisson(d, 0.35)
+			phi := d.NewLocalGrid()
+			if _, _, err := dps.SolveCG(phi, d.ScatterReplicated(rhs)); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			t.Fatalf("mapping %v: %v", mapping, err)
+		}
+		return mk
+	}
+	cart := run(topology.MapCart)
+	shuffle := run(topology.MapShuffle)
+	if cart >= shuffle {
+		t.Errorf("Cartesian mapping (%v) not cheaper than shuffled (%v) at %d ranks", cart, shuffle, p)
+	}
+	t.Logf("64-rank CG virtual makespan: cart %v, shuffle %v (%.2fx)", cart, shuffle,
+		float64(shuffle)/float64(cart))
+}

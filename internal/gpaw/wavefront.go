@@ -50,6 +50,7 @@ const wavefrontTag = distTag + 8
 // of one rank for the lifetime of a solve — no per-iteration
 // allocation.
 type sorWavefront struct {
+	d  *Dist
 	op *stencil.Operator
 	up [3]*mpi.Pipe // updated boundaries arriving from the -side neighbour
 	dn [3]*mpi.Pipe // this rank's boundaries streaming to the +side neighbour
@@ -64,7 +65,7 @@ type sorWavefront struct {
 // pipeline never crosses the periodic seam (that is what keeps it a DAG
 // and deadlock-free).
 func newSORWavefront(d *Dist, op *stencil.Operator) *sorWavefront {
-	w := &sorWavefront{op: op}
+	w := &sorWavefront{d: d, op: op}
 	procs := d.Decomp.Procs
 	for dim := 0; dim < 3; dim++ {
 		upPeer, dnPeer := mpi.ProcNull, mpi.ProcNull
@@ -108,6 +109,10 @@ func (w *sorWavefront) sweep(phi, rhs *grid.Grid, omega float64) {
 			phi.UnpackPlaneHalo(i, 2, grid.Low, t, w.bz)
 		}
 		w.op.SORSweepPlanes(phi, rhs, omega, i, i+1)
+		// One plane of modeled compute per pipeline stage, charged
+		// before the downstream sends so the wavefront's fill latency
+		// shows in virtual time.
+		w.d.chargePoints(phi.Ny * phi.Nz)
 		if w.dn[1].Active() {
 			phi.PackPlaneFace(i, 1, grid.High, t, w.by)
 			w.dn[1].Send(w.by)

@@ -16,12 +16,31 @@
 // call at any time). The Blue Gene/P performance difference between the
 // two modes is modelled in internal/bgpsim; here the distinction is a
 // correctness contract.
+//
+// # Calibrated network model
+//
+// By default delivery is eager and free — correct, but timing-blind: a
+// shared-memory run cannot show communication/computation overlap or
+// rank-placement effects. World.SetNetModel layers a virtual-time cost
+// model over the unchanged transport (see netmodel.go): every message
+// pays sender post cost, serialized DMA injection, wire time at the
+// effective link bandwidth and per-hop latency over the torus/mesh
+// distance between the endpoints' node coordinates, with a cheap
+// intra-node path and free self-sends. The constants (NetParams) are
+// the internal/bgpsim Figure-2 fit — bgpsim.Params.NetParams converts,
+// bgpsim.NetModelFor builds a ready model — and rank→node placement
+// comes from internal/topology's mapping strategies. Virtual clocks
+// advance without sleeping (RunModeled returns the makespan); NetModel.
+// Paced turns the delays into real sleeps, which SetOpTimeout excludes
+// from its deadlines. The model reorders time only, never data or
+// matching, so results are bit-identical with the model on or off.
 package mpi
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ThreadMode is the MPI-2 thread support level of a World.
@@ -55,6 +74,10 @@ type envelope struct {
 	data  []float64
 	seq   uint64 // arrival order stamp, for deterministic matching
 	epoch int    // fault-tolerance epoch the message belongs to
+	// arriveAt is the modeled virtual arrival time under the network
+	// model (see netmodel.go); 0 when no model is armed or the message
+	// is a free self-send.
+	arriveAt int64
 }
 
 // mailbox holds a rank's unmatched arrived messages and posted
@@ -105,6 +128,21 @@ type World struct {
 	agreeMu     sync.Mutex
 	agreeCond   *sync.Cond
 	agreeRounds map[agreeKey]*agreeRound
+
+	// Network-model state (see netmodel.go). netOn gates every hot-path
+	// check behind one atomic load, like ftOn: worlds that never arm the
+	// model pay nothing beyond it.
+	netOn   atomic.Bool
+	net     *NetModel
+	clocks  []rankClock
+	netBase time.Time
+	// pacedNs is the world-wide total of wall time slept to pace modeled
+	// delay and pacing the number of ranks currently inside such a
+	// sleep; blocking-wait timeouts exclude both the completed total and
+	// any sleep still in flight (see Request.Wait), so SetOpTimeout
+	// counts only genuine wall time, never modeled delivery delay.
+	pacedNs atomic.Int64
+	pacing  atomic.Int32
 }
 
 // NewWorld creates a world of n ranks with the given thread mode.
@@ -223,6 +261,12 @@ func (c *Comm) World() *World { return c.world }
 // fault machinery is armed, the per-operation fault hook (poisoned-
 // epoch fail-fast, injected jitter, scheduled kills).
 func (c *Comm) enter() {
+	if c.world.netOn.Load() {
+		// Accrue the wall time the rank spent computing since its last
+		// MPI call before any fault jitter sleeps, so injected delay is
+		// never mistaken for compute.
+		c.world.netEnter(c.group[c.rank])
+	}
 	if c.world.ftOn.Load() {
 		c.faultPoint()
 	}
@@ -236,6 +280,9 @@ func (c *Comm) enter() {
 func (c *Comm) exit() {
 	if c.world.mode == ThreadSingle {
 		atomic.AddInt32(c.active, -1)
+	}
+	if c.world.netOn.Load() {
+		c.world.netExit(c.group[c.rank])
 	}
 }
 
@@ -258,6 +305,14 @@ func RunWithFaults(n int, mode ThreadMode, plan *FaultPlan, body func(c *Comm)) 
 	if plan != nil {
 		w.installPlan(plan)
 	}
+	return w.runRanks(body)
+}
+
+// runRanks spawns one goroutine per rank of the (possibly pre-armed)
+// world and waits for all of them — the engine behind Run, RunWithFaults
+// and RunModeled.
+func (w *World) runRanks(body func(c *Comm)) error {
+	n := w.size
 	var wg sync.WaitGroup
 	var firstErr atomic.Value
 	group := make([]int, n)
@@ -328,6 +383,13 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 	if c.world.ftOn.Load() {
 		c.world.checkPeer(c.epoch, toW)
 	}
+	// Modeled delivery cost: charge the sender's CPU and injection path
+	// and stamp the virtual arrival time before the physical (eager)
+	// delivery below, which is unchanged by the model.
+	var arriveAt int64
+	if c.world.netOn.Load() {
+		arriveAt = c.world.sendCost(c.group[c.rank], toW, len(data))
+	}
 	box := c.world.boxes[toW]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -344,13 +406,13 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 		}
 		if (pr.prSrc == AnySource || pr.prSrc == c.rank) && (pr.prTag == AnyTag || pr.prTag == tag) {
 			box.posted[i] = nil
-			completeRecv(pr, c.rank, tag, data)
+			completeRecv(pr, c.rank, tag, data, arriveAt)
 			c.world.untrack(pr)
 			box.cond.Broadcast()
 			return
 		}
 	}
-	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...), seq: box.seq, epoch: c.epoch}
+	env := &envelope{src: c.rank, tag: tag, data: append([]float64(nil), data...), seq: box.seq, epoch: c.epoch, arriveAt: arriveAt}
 	box.arrived = append(box.arrived, env)
 	box.cond.Broadcast()
 }
@@ -362,7 +424,7 @@ func (c *Comm) sendInternal(to, tag int, data []float64) {
 // different rank). The copy happens under the request lock after the
 // done check, so a request already completed by a failure revocation
 // can never have its abandoned buffer written.
-func completeRecv(pr *Request, src, tag int, data []float64) {
+func completeRecv(pr *Request, src, tag int, data []float64, arriveAt int64) {
 	pr.mu.Lock()
 	if pr.done {
 		pr.mu.Unlock()
@@ -375,6 +437,7 @@ func completeRecv(pr *Request, src, tag int, data []float64) {
 	}
 	pr.done = true
 	pr.src, pr.tag, pr.n = src, tag, n
+	pr.arriveAt = arriveAt
 	pr.err = err
 	pr.mu.Unlock()
 	pr.cond.Broadcast()
@@ -398,6 +461,7 @@ func (c *Comm) Isend(to, tag int, data []float64) *Request {
 	defer c.exit()
 	c.send(to, tag, data)
 	r := c.world.getRequest()
+	r.owner = c.group[c.rank]
 	r.complete(c.rank, tag, len(data))
 	return r
 }
@@ -411,6 +475,9 @@ func (c *Comm) Irecv(from, tag int, buf []float64) *Request {
 
 func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 	ft := c.world.ftOn.Load()
+	if c.world.netOn.Load() {
+		c.world.chargePost(c.group[c.rank])
+	}
 	box := c.world.boxes[c.worldRank(c.rank)]
 	req := c.world.getRequest()
 	req.prSrc, req.prTag, req.buf = from, tag, buf
@@ -428,7 +495,7 @@ func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 		if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
 			box.arrived = append(box.arrived[:i], box.arrived[i+1:]...)
 			box.mu.Unlock()
-			completeRecv(req, env.src, env.tag, env.data)
+			completeRecv(req, env.src, env.tag, env.data, env.arriveAt)
 			return req
 		}
 	}
@@ -491,17 +558,21 @@ func (c *Comm) Probe(from, tag int) (src, gotTag, n int) {
 	c.enter()
 	defer c.exit()
 	box := c.world.boxes[c.worldRank(c.rank)]
+	var arriveAt int64
 	box.mu.Lock()
-	defer box.mu.Unlock()
+probe:
 	for {
 		if box.aborted {
+			box.mu.Unlock()
 			panic(errAborted)
 		}
 		if c.world.ftOn.Load() {
 			if me := c.group[c.rank]; c.world.isDead(me) {
+				box.mu.Unlock()
 				panic(rankKilled{me})
 			}
 			if int64(c.epoch) <= c.world.revokedEpoch.Load() {
+				box.mu.Unlock()
 				panic(c.world.failure())
 			}
 		}
@@ -510,9 +581,19 @@ func (c *Comm) Probe(from, tag int) (src, gotTag, n int) {
 				continue
 			}
 			if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
-				return env.src, env.tag, len(env.data)
+				src, gotTag, n = env.src, env.tag, len(env.data)
+				arriveAt = env.arriveAt
+				break probe
 			}
 		}
 		box.cond.Wait()
 	}
+	box.mu.Unlock()
+	// A probe observes the message, so the observer's clock advances to
+	// its modeled arrival — outside the mailbox lock, because paced mode
+	// sleeps the jump.
+	if c.world.netOn.Load() {
+		c.world.advanceTo(c.group[c.rank], arriveAt)
+	}
+	return src, gotTag, n
 }

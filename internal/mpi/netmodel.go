@@ -1,0 +1,347 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// Network model. This file layers a calibrated latency/bandwidth/
+// contention model over the eager in-process transport, so the
+// distributed solvers and benchmarks pay Blue Gene/P-scale delivery
+// costs instead of the near-zero cost of an in-memory copy.
+//
+// The physical transport is untouched: messages still deliver eagerly,
+// matching stays FIFO per (source, tag), and every byte moves exactly
+// as before — so solver results are bit-identical with the model on or
+// off (the model only reorders time, never data). What the model adds
+// is bookkeeping: every rank carries a virtual clock, every message an
+// arrival stamp computed from the calibrated bgpsim parameters and the
+// torus hop distance between the communicating ranks' node coordinates,
+// and every Wait advances the receiver's clock to the stamp. Between
+// MPI calls a rank's clock accrues its real (wall) compute time, or —
+// for fully deterministic pure-model studies — only the explicit
+// charges made through Comm.Compute (NoComputeWall).
+//
+// Cost of one remote message of n bytes from src to dst, mirroring
+// bgpsim.Params.MessageTime:
+//
+//	sender CPU:  PostCost (+ MultipleLock in MULTIPLE mode)
+//	injection:   starts at max(sender clock, sender DMA free time);
+//	             the DMA engine serializes a rank's injections, so a
+//	             burst of sends (a halo exchange) queues on the link
+//	wire:        DMAPerMsg + n / EffLinkBandwidth
+//	             (mesh partitions with MeshSharePenalty halve the
+//	             bandwidth of >1-hop paths: wrap flows share links)
+//	latency:     MsgLatency + (hops-1) * HopLatency
+//
+// Ranks mapped to the same node coordinate exchange through shared
+// memory instead: IntraNodeLatency + n / IntraNodeBandwidth. A rank's
+// message to itself (the engine's self-send on undivided dimensions)
+// is free — it would not exist on a real machine.
+//
+// Paced mode converts the virtual delays into real time.Sleep calls so
+// wall-clock measurements feel the model too; the world-wide paced
+// sleep total is tracked so SetOpTimeout deadlines exclude modeled
+// delay (see Request.Wait) and fault-injection timeouts never misfire
+// on a slow-but-healthy modeled network.
+
+// NetParams are the delivery-cost constants of the model, all in
+// seconds and bytes/s. They mirror the calibrated fields of
+// bgpsim.Params (whose NetParams method converts; mpi cannot import
+// bgpsim, which sits above internal/core in the dependency order).
+type NetParams struct {
+	// MsgLatency is the one-way end-to-end latency of a nearest-
+	// neighbour message (software + network).
+	MsgLatency float64
+	// HopLatency is the extra latency per additional torus hop.
+	HopLatency float64
+	// PostCost is CPU time to post one send or receive.
+	PostCost float64
+	// MultipleLock is the extra serialized CPU cost per MPI call in
+	// MULTIPLE thread mode.
+	MultipleLock float64
+	// DMAPerMsg is the injection engine's per-message processing time;
+	// the engine serializes a rank's injections.
+	DMAPerMsg float64
+	// LinkBandwidth is the effective per-link payload bandwidth
+	// (raw bandwidth times packet efficiency).
+	LinkBandwidth float64
+	// IntraNodeLatency and IntraNodeBandwidth cost messages between
+	// ranks mapped to the same node coordinate (shared memory).
+	IntraNodeLatency   float64
+	IntraNodeBandwidth float64
+	// MeshSharePenalty halves the effective bandwidth of >1-hop paths
+	// on mesh (non-torus) partitions, where wrap-around flows share
+	// every link of a dimension with pass-through traffic.
+	MeshSharePenalty bool
+}
+
+// NetModel configures a World's calibrated network model. Install it
+// with World.SetNetModel before any traffic, or use RunModeled.
+type NetModel struct {
+	// Params are the calibrated BG/P cost-model constants (the Figure-2
+	// fit; see bgpsim.Params.NetParams).
+	Params NetParams
+	// Net is the interconnect the ranks are mapped onto (a torus at
+	// >= 512 nodes, a mesh below, per topology.PartitionFor).
+	Net topology.Network
+	// Coords maps each world rank to its node coordinate in Net (see
+	// topology.MapGrid / MapBands). nil places every pair of distinct
+	// ranks one hop apart.
+	Coords []topology.Coord
+	// Paced converts virtual delays into real time.Sleep calls, so wall
+	// clocks measure the modeled network. The default (false) keeps all
+	// delay virtual: the run finishes at memory speed and the modeled
+	// times are read back with VirtualTime/MaxVirtualTime.
+	Paced bool
+	// PaceScale scales paced sleeps (wall seconds per virtual second);
+	// 0 means 1. Ignored unless Paced.
+	PaceScale float64
+	// NoComputeWall disables the wall-clock compute accrual between MPI
+	// calls. The virtual clocks then advance only by modeled message
+	// costs and explicit Comm.Compute charges, which makes the virtual
+	// times fully deterministic — the mode the scaling benchmarks use.
+	NoComputeWall bool
+}
+
+// rankClock is one rank's model state: its virtual clock, the wall
+// stamp of its last MPI-call boundary (for compute accrual) and the
+// virtual time its DMA/link injection path is busy until.
+type rankClock struct {
+	mu       sync.Mutex
+	virt     int64 // virtual ns since world start
+	lastWall int64 // wall ns (since netBase) of the last MPI boundary; 0 = unstamped
+	dmaFree  int64 // virtual ns until which this rank's injection path is busy
+}
+
+// SetNetModel arms the world's network model. It must be called before
+// any rank communicates; RunModeled does it for you.
+func (w *World) SetNetModel(m *NetModel) {
+	if m == nil {
+		return
+	}
+	if m.Coords != nil && len(m.Coords) != w.size {
+		panic(fmt.Sprintf("mpi: net model maps %d ranks, world has %d", len(m.Coords), w.size))
+	}
+	w.net = m
+	w.clocks = make([]rankClock, w.size)
+	w.netBase = time.Now()
+	w.netOn.Store(true)
+}
+
+// NetConfig returns a copy of the installed network model and whether
+// one is armed.
+func (w *World) NetConfig() (NetModel, bool) {
+	if !w.netOn.Load() {
+		return NetModel{}, false
+	}
+	return *w.net, true
+}
+
+// VirtualTime returns a world rank's modeled elapsed time.
+func (w *World) VirtualTime(rank int) time.Duration {
+	if !w.netOn.Load() {
+		return 0
+	}
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	v := ck.virt
+	ck.mu.Unlock()
+	return time.Duration(v)
+}
+
+// MaxVirtualTime returns the slowest rank's modeled elapsed time — the
+// modeled makespan of the run so far.
+func (w *World) MaxVirtualTime() time.Duration {
+	var max time.Duration
+	for r := 0; r < w.size; r++ {
+		if v := w.VirtualTime(r); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// RunModeled is Run with a network model armed on the world; it returns
+// the modeled makespan (the slowest rank's virtual clock) alongside
+// Run's error.
+func RunModeled(n int, mode ThreadMode, m *NetModel, body func(c *Comm)) (time.Duration, error) {
+	w := NewWorld(n, mode)
+	w.SetNetModel(m)
+	err := w.runRanks(body)
+	return w.MaxVirtualTime(), err
+}
+
+// nowNs returns wall ns since the model was armed (monotonic).
+func (w *World) nowNs() int64 { return int64(time.Since(w.netBase)) }
+
+// netEnter marks an MPI-call boundary: the wall time the rank spent
+// outside the library since the last boundary is accrued to its virtual
+// clock as compute (unless NoComputeWall). Every MPI entry point calls
+// it, and Wait/Test call it themselves so time spent blocked inside the
+// library is never mistaken for compute.
+func (w *World) netEnter(rank int) {
+	now := w.nowNs()
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	if ck.lastWall != 0 && !w.net.NoComputeWall {
+		ck.virt += now - ck.lastWall
+	}
+	ck.lastWall = now
+	ck.mu.Unlock()
+}
+
+// netExit stamps the boundary on the way out of the library, so the
+// next netEnter accrues only genuine outside-the-library time.
+func (w *World) netExit(rank int) {
+	now := w.nowNs()
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	ck.lastWall = now
+	ck.mu.Unlock()
+}
+
+// secNs converts model seconds to integer virtual ns.
+func secNs(s float64) int64 { return int64(s * 1e9) }
+
+// sendCost charges the sender's CPU and injection path for one message
+// of elems float64 values to world rank dst and returns the virtual
+// arrival time at the receiver (0 for a free self-send; the zero
+// sentinel is unambiguous because any remote arrival is preceded by a
+// positive PostCost charge).
+func (w *World) sendCost(src, dst, elems int) int64 {
+	m := w.net
+	p := &m.Params
+	if src == dst {
+		return 0 // local self-send: no network on a real machine
+	}
+	bytes := int64(elems) * 8
+	post := secNs(p.PostCost)
+	if w.mode == ThreadMultiple {
+		post += secNs(p.MultipleLock)
+	}
+	hops := 1
+	sameNode := false
+	if m.Coords != nil {
+		a, b := m.Coords[src], m.Coords[dst]
+		if a == b {
+			sameNode = true
+		} else {
+			hops = m.Net.Hops(a, b)
+			if hops < 1 {
+				hops = 1
+			}
+		}
+	}
+	ck := &w.clocks[src]
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.virt += post
+	if sameNode {
+		// Shared-memory transfer between co-located ranks: no DMA, no
+		// link contention.
+		return ck.virt + secNs(p.IntraNodeLatency+float64(bytes)/p.IntraNodeBandwidth)
+	}
+	inj := ck.virt
+	if ck.dmaFree > inj {
+		inj = ck.dmaFree
+	}
+	bw := p.LinkBandwidth
+	if p.MeshSharePenalty && !m.Net.Torus && hops > 1 {
+		// Mesh partitions: multi-hop paths share links with pass-through
+		// traffic (section V of the paper), halving effective bandwidth.
+		bw /= 2
+	}
+	wire := secNs(p.DMAPerMsg + float64(bytes)/bw)
+	ck.dmaFree = inj + wire
+	return inj + wire + secNs(p.MsgLatency+float64(hops-1)*p.HopLatency)
+}
+
+// chargePost charges a rank's CPU for posting a receive.
+func (w *World) chargePost(rank int) {
+	p := &w.net.Params
+	post := secNs(p.PostCost)
+	if w.mode == ThreadMultiple {
+		post += secNs(p.MultipleLock)
+	}
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	ck.virt += post
+	ck.mu.Unlock()
+}
+
+// advanceTo jumps a rank's virtual clock forward to a message's arrival
+// stamp (no-op if the clock is already past it: the delivery was hidden
+// behind compute). In paced mode the jump is also slept in wall time,
+// with the slept total recorded so operation timeouts can exclude it.
+func (w *World) advanceTo(rank int, arrive int64) {
+	if arrive == 0 {
+		return
+	}
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	d := arrive - ck.virt
+	if d <= 0 {
+		ck.mu.Unlock()
+		return
+	}
+	ck.virt = arrive
+	ck.mu.Unlock()
+	w.paceSleep(d)
+}
+
+// virtReached reports whether a rank's clock has caught up with an
+// arrival stamp — the honest-overlap gate Request.Test applies to
+// physically-delivered messages.
+func (w *World) virtReached(rank int, arrive int64) bool {
+	if arrive == 0 {
+		return true
+	}
+	ck := &w.clocks[rank]
+	ck.mu.Lock()
+	v := ck.virt
+	ck.mu.Unlock()
+	return v >= arrive
+}
+
+// paceSleep sleeps d virtual ns of modeled delay in wall time when the
+// model is paced. The slept total is added to pacedNs *before* the
+// sleep so a concurrently-blocked Wait extends its timeout deadline
+// first and can never misfire while the delay is being served.
+func (w *World) paceSleep(d int64) {
+	if !w.net.Paced || d <= 0 {
+		return
+	}
+	scale := w.net.PaceScale
+	if scale <= 0 {
+		scale = 1
+	}
+	sleep := time.Duration(float64(d) * scale)
+	if sleep <= 0 {
+		return
+	}
+	w.pacedNs.Add(int64(sleep))
+	w.pacing.Add(1)
+	time.Sleep(sleep)
+	w.pacing.Add(-1)
+}
+
+// Compute charges d of modeled compute to the calling rank's virtual
+// clock (and sleeps it in paced mode). With NoComputeWall this is the
+// only way compute enters the model; internal/gpaw's NetCompute option
+// charges the per-point stencil cost of every fused sweep through it.
+// No-op when no model is armed.
+func (c *Comm) Compute(d time.Duration) {
+	w := c.world
+	if d <= 0 || !w.netOn.Load() {
+		return
+	}
+	ck := &w.clocks[c.group[c.rank]]
+	ck.mu.Lock()
+	ck.virt += int64(d)
+	ck.mu.Unlock()
+	w.paceSleep(int64(d))
+}

@@ -26,6 +26,13 @@ type Request struct {
 	n    int
 	err  error
 
+	// arriveAt is the message's modeled virtual arrival time under the
+	// network model (0 when no model is armed, for send requests, and
+	// for free self-sends). Wait advances the waiter's virtual clock to
+	// it; Test refuses to report completion before the waiter's clock
+	// has caught up with it.
+	arriveAt int64
+
 	// Posted-receive matching state, guarded by the owning mailbox's
 	// lock while the request sits in mailbox.posted (the role the
 	// separate pendingRecv struct used to play).
@@ -74,6 +81,7 @@ func (r *Request) reset() {
 	r.mu.Lock()
 	r.done = false
 	r.src, r.tag, r.n = 0, 0, 0
+	r.arriveAt = 0
 	r.err = nil
 	r.prSrc, r.prTag = 0, 0
 	r.buf = nil
@@ -124,28 +132,59 @@ func (r *Request) completeErr(src, tag, n int, err error) {
 // Delivery errors panic in the caller, to be recovered by Run. When the
 // world has an operation timeout set (World.SetOpTimeout), a wait
 // exceeding it panics with a *TimeoutError carrying the world-wide
-// pending-receive dump instead of blocking forever.
+// pending-receive dump instead of blocking forever. Under a network
+// model, Wait additionally advances the waiter's virtual clock to the
+// message's modeled arrival time (sleeping the jump in paced mode), and
+// the operation timeout counts only genuine wall time: paced modeled
+// delay served anywhere in the world extends the deadline, so a slow
+// modeled network can never masquerade as a deadlock.
 func (r *Request) Wait() (src, tag, n int) {
+	// Wait is an MPI-call boundary of its own (engine code calls it on
+	// standalone requests, outside any Comm entry point), so it does its
+	// own compute accrual — otherwise wall time spent blocked here would
+	// be mistaken for compute by the next accrual.
+	var w *World
+	var owner int
 	r.mu.Lock()
+	if r.w != nil && r.w.netOn.Load() {
+		w, owner = r.w, r.owner
+		r.mu.Unlock()
+		w.netEnter(owner)
+		r.mu.Lock()
+	}
 	if !r.done && r.w != nil {
 		if to := time.Duration(r.w.opTimeout.Load()); to > 0 {
-			deadline := time.Now().Add(to)
-			// The timer only wakes the waiter so the deadline check runs;
-			// the request itself stays pending.
-			timer := time.AfterFunc(to, func() {
-				r.mu.Lock()
-				r.cond.Broadcast()
-				r.mu.Unlock()
-			})
-			for !r.done && time.Now().Before(deadline) {
+			wld := r.w
+			start := time.Now()
+			paced0 := wld.pacedNs.Load()
+			for !r.done {
+				// The deadline floats forward by however much paced model
+				// delay has been served world-wide since this wait began.
+				deadline := start.Add(to + time.Duration(wld.pacedNs.Load()-paced0))
+				now := time.Now()
+				if !now.Before(deadline) {
+					if wld.pacing.Load() > 0 {
+						// Some rank is mid-sleep serving modeled delay (a
+						// sleep that may have begun before this wait did, so
+						// the pacedNs baseline missed it). The network is
+						// slow, not dead: re-baseline and keep waiting.
+						start, paced0 = now, wld.pacedNs.Load()
+						continue
+					}
+					te := &TimeoutError{After: to, Rank: r.owner, Peer: r.prSrc, Tag: r.prTag}
+					r.mu.Unlock()
+					te.Pending = wld.PendingOps()
+					panic(te)
+				}
+				// The timer only wakes the waiter so the deadline check
+				// runs; the request itself stays pending.
+				timer := time.AfterFunc(deadline.Sub(now), func() {
+					r.mu.Lock()
+					r.cond.Broadcast()
+					r.mu.Unlock()
+				})
 				r.cond.Wait()
-			}
-			timer.Stop()
-			if !r.done {
-				te := &TimeoutError{After: to, Rank: r.owner, Peer: r.prSrc, Tag: r.prTag}
-				r.mu.Unlock()
-				te.Pending = r.w.PendingOps()
-				panic(te)
+				timer.Stop()
 			}
 		}
 	}
@@ -157,18 +196,46 @@ func (r *Request) Wait() (src, tag, n int) {
 		panic(r.err)
 	}
 	src, tag, n = r.src, r.tag, r.n
+	arrive := r.arriveAt
 	r.mu.Unlock()
+	if w != nil {
+		w.advanceTo(owner, arrive)
+		w.netExit(owner)
+	}
 	return src, tag, n
 }
 
 // Test reports whether the operation has completed, without blocking —
 // the poll the split-phase overlap protocol uses to check for early
 // message arrival between interior work items. A true result means a
-// subsequent Wait returns immediately.
+// subsequent Wait returns immediately (under a network model: without
+// advancing the waiter's clock, because Test only reports completion
+// once the clock has already caught up with the message's modeled
+// arrival — the eager transport's early physical delivery is never
+// mistaken for modeled arrival).
 func (r *Request) Test() bool {
+	var w *World
+	var owner int
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.done
+	if r.w != nil && r.w.netOn.Load() {
+		w, owner = r.w, r.owner
+	}
+	done, arrive, err := r.done, r.arriveAt, r.err
+	r.mu.Unlock()
+	if w != nil {
+		// Polling is an MPI-call boundary too: accrue the compute done
+		// since the last boundary, so an overlap loop that polls between
+		// interior work items advances its clock toward the arrival.
+		w.netEnter(owner)
+		defer w.netExit(owner)
+	}
+	if !done {
+		return false
+	}
+	if w == nil || err != nil {
+		return true
+	}
+	return w.virtReached(owner, arrive)
 }
 
 // Waitall blocks until every request completes. Nil entries are

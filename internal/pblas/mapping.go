@@ -1,0 +1,15 @@
+package pblas
+
+import "repro/internal/topology"
+
+// MapGrid2D places the ranks of a pr x pc process grid (row-major, the
+// Grid2D layout: rank r sits at grid coordinate (r/pc, r%pc)) onto the
+// nodes of a network, returning the rank-indexed coordinate table
+// internal/mpi's network model prices hop distances from. The 2D grid
+// embeds as a 1 x pr x pc box, so MapCart keeps grid rows and columns
+// torus-contiguous — the placement that makes SUMMA's row and column
+// broadcasts nearest-neighbour pipelines instead of cross-machine
+// traffic.
+func MapGrid2D(pr, pc int, net topology.Network, m topology.Mapping) []topology.Coord {
+	return topology.MapGrid(topology.Dims{1, pr, pc}, net, m)
+}
