@@ -14,6 +14,14 @@
 // -netmodel arms the calibrated network model on the live-runtime dist
 // experiment (deterministic virtual makespans instead of wall time);
 // -map picks the rank placement on the simulated torus for such runs.
+//
+// -trace FILE writes a Chrome/Perfetto trace-event timeline of one
+// traced distributed SCF (one track per rank, nested comm/compute
+// spans; virtual timestamps under -netmodel); -profile appends its
+// per-phase profile table — comm/compute split and overlap efficiency
+// — to the dist experiment's notes:
+//
+//	gpawsim -experiment dist -netmodel -trace out.json -profile
 package main
 
 import (
@@ -34,6 +42,10 @@ func main() {
 		"arm the calibrated network model on the live-runtime experiments (dist)")
 	mapFlag := flag.String("map", "",
 		"rank placement on the simulated torus for -netmodel runs: linear, cart, shuffle")
+	traceOut := flag.String("trace", "",
+		"write a Chrome/Perfetto trace of one traced dist SCF run to this file (implies -experiment dist artifacts)")
+	profile := flag.Bool("profile", false,
+		"append the traced dist run's per-phase profile table (comm/compute split, overlap efficiency)")
 	flag.Parse()
 
 	mapping, err := topology.ParseMapping(*mapFlag)
@@ -41,7 +53,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gpawsim: %v\n", err)
 		os.Exit(2)
 	}
-	opts := bench.Options{Quick: *quick, NetModel: *netmodel, Map: mapping}
+	opts := bench.Options{Quick: *quick, NetModel: *netmodel, Map: mapping,
+		TraceOut: *traceOut, Profile: *profile}
 	drivers := map[string]func() []*bench.Experiment{
 		"table1":   func() []*bench.Experiment { return []*bench.Experiment{bench.Table1()} },
 		"fig2":     func() []*bench.Experiment { return []*bench.Experiment{bench.Figure2(opts)} },
@@ -78,6 +91,7 @@ func main() {
 			if _, ok := drivers[name]; !ok {
 				fmt.Fprintf(os.Stderr, "gpawsim: unknown experiment %q (have %s, all)\n",
 					name, strings.Join(order, ", "))
+				flag.Usage()
 				os.Exit(2)
 			}
 			selected = append(selected, name)

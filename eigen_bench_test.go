@@ -17,6 +17,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/pblas"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Benchmarks for the band-parallel dense-subspace layer: SUMMA
@@ -81,6 +82,35 @@ func summaOnceModeled(a, b linalg.Matrix, pr, pc, blockSize int, m topology.Mapp
 		panic(err)
 	}
 	return out, mk
+}
+
+// summaProfile is summaOnceModeled with a tracer armed, reduced to the
+// virtual-clock per-phase profile of the multiply. Deterministic
+// (NoComputeWall): every number is a model prediction.
+func summaProfile(a, b linalg.Matrix, pr, pc, blockSize int) *trace.Profile {
+	p := pr * pc
+	nm := bgpsim.NetModelFor(p)
+	nm.Coords = pblas.MapGrid2D(pr, pc, nm.Net, topology.MapCart)
+	nm.NoComputeWall = true
+	tr := trace.New(p, 1<<15)
+	w := mpi.NewWorld(p, mpi.ThreadSingle)
+	w.SetNetModel(nm)
+	w.SetTracer(tr)
+	err := w.Run(func(c *mpi.Comm) {
+		g, err := pblas.NewGrid2D(c, pr, pc)
+		if err != nil {
+			panic(err)
+		}
+		da := pblas.FromReplicated(g, a, blockSize, blockSize)
+		db := pblas.FromReplicated(g, b, blockSize, blockSize)
+		if _, err := pblas.MatMul(da, db); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tr.Profile(trace.Virtual)
 }
 
 // benchMatrices builds deterministic n x n operands.
@@ -186,6 +216,10 @@ type eigenBenchReport struct {
 	// to the eager run). Deterministic model predictions, not host
 	// measurements.
 	SummaVirtUsCalibrated map[string]float64 `json:"summa_virt_us_calibrated"`
+	// Per-phase profile of one traced 4x4 calibrated SUMMA multiply
+	// under the virtual clock (pblas.summa region over the mpi
+	// broadcast/send spans). Deterministic (NoComputeWall).
+	Profile *trace.Profile `json:"profile"`
 }
 
 // TestWriteEigenBenchJSON measures the band-parallel subspace layer
@@ -266,6 +300,22 @@ func TestWriteEigenBenchJSON(t *testing.T) {
 	rep.SummaVirtUsCalibrated["grid8x8_shuffle"] = float64(shufMk) / 1e3
 	if cartMk >= shufMk {
 		t.Errorf("64-rank SUMMA: cart placement (%v) not cheaper than shuffle (%v)", cartMk, shufMk)
+	}
+	// Local GEMM charges no modeled compute, so under the virtual clock
+	// the profile is all communication; assert the broadcast traffic and
+	// the one summa region per rank are on the timeline.
+	rep.Profile = summaProfile(am, bm, 4, 4, 8)
+	if rep.Profile.CommNs <= 0 {
+		t.Errorf("traced SUMMA profile lacks comm self time (%dns)", rep.Profile.CommNs)
+	}
+	summaCount := int64(0)
+	for _, ps := range rep.Profile.Phases {
+		if ps.Name == "pblas.summa" {
+			summaCount = ps.Count
+		}
+	}
+	if summaCount != 16 {
+		t.Errorf("traced SUMMA profile has %d pblas.summa regions, want one per rank (16)", summaCount)
 	}
 	if os.Getenv("BENCH_EIGEN_JSON") != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")

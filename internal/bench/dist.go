@@ -122,5 +122,6 @@ func DistSolvers(opts Options) *Experiment {
 		e.AddNote("calibrated network model armed (%s mapping): the time column is the "+
 			"deterministic virtual makespan, not host wall time", opts.Map)
 	}
+	traceArtifacts(e, opts)
 	return e
 }

@@ -23,6 +23,15 @@ type Options struct {
 	// Map picks the rank placement on the simulated torus for
 	// NetModel runs (linear, cart, shuffle).
 	Map topology.Mapping
+	// TraceOut, when non-empty, makes the live-runtime experiments
+	// (dist) write a Chrome/Perfetto trace-event file of one traced
+	// SCF run to this path — one timeline track per rank, nested
+	// comm/compute spans, virtual timestamps when NetModel is armed.
+	TraceOut string
+	// Profile appends the traced run's per-phase profile table
+	// (count, time, bytes, %comm vs %compute, overlap efficiency) to
+	// the experiment's notes.
+	Profile bool
 }
 
 func (o Options) params() bgpsim.Params {

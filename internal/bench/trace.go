@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bgpsim"
+	"repro/internal/core"
+	"repro/internal/gpaw"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// TracedDist runs one representative traced distributed workload and
+// returns the tracer plus the clock its events should be read with:
+// the deterministic virtual clock when opts.NetModel armed the
+// calibrated transport (NoComputeWall, so repeated runs produce
+// identical timelines), wall time otherwise. The run is 4 ranks on a
+// 2x2x1 grid (2 ranks on 1x2x1 with Quick) and has two segments under
+// the flat-optimized split-phase protocol: a 16^3 periodic Poisson CG
+// solve whose sub-domains carry a real deep interior — the overlap the
+// profile's efficiency line measures — followed by the harmonic-trap
+// SCF of DistSolvers for the full solver phase variety (eigensolver,
+// subspace algebra, density, Hartree).
+func TracedDist(opts Options) (*trace.Tracer, trace.Clock, error) {
+	p, procs := 4, topology.Dims{2, 2, 1}
+	if opts.Quick {
+		p, procs = 2, topology.Dims{1, 2, 1}
+	}
+	scfGlobal := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := gpaw.System{
+		Dims:      scfGlobal,
+		Spacing:   h,
+		BC:        gpaw.Dirichlet,
+		Vext:      gpaw.HarmonicPotential(scfGlobal, h, 1),
+		Electrons: 2,
+	}
+	scfCfg := gpaw.DistConfig{
+		Global: scfGlobal, Procs: procs, Halo: 2, BC: sys.BC,
+		Approach: core.FlatOptimized, Threads: 1, Batch: 2,
+		Map: opts.Map, NetCompute: opts.NetModel,
+	}
+	cgGlobal := topology.Dims{16, 16, 16}
+	cgCfg := gpaw.DistConfig{
+		Global: cgGlobal, Procs: procs, Halo: 2, BC: gpaw.Periodic,
+		Approach: core.FlatOptimized, Threads: 1, Batch: 1,
+		Map: opts.Map, NetCompute: opts.NetModel,
+	}
+	cgRhs := grid.NewDims(cgGlobal, 2)
+	cgRhs.FillFunc(func(i, j, k int) float64 {
+		dx, dy, dz := float64(i)-6.5, float64(j)-8.5, float64(k)-5.5
+		return math.Exp(-(dx*dx + dy*dy + dz*dz) / 9)
+	})
+	tr := trace.New(p, 1<<16)
+	w := mpi.NewWorld(p, mpi.ThreadSingle)
+	clock := trace.Wall
+	if opts.NetModel {
+		m := bgpsim.NetModelFor(p)
+		m.Coords = gpaw.NetCoords(cgCfg, m.Net)
+		m.NoComputeWall = true
+		w.SetNetModel(m)
+		clock = trace.Virtual
+	}
+	w.SetTracer(tr)
+	err := w.Run(func(c *mpi.Comm) {
+		// Segment 1: overlapped CG with a non-empty deep interior.
+		dcg, err := gpaw.NewDist(c, cgCfg)
+		if err != nil {
+			panic(err)
+		}
+		ps := gpaw.NewDistPoisson(dcg, 0.3)
+		phi := dcg.NewLocalGrid()
+		if _, _, err := ps.SolveCG(phi, dcg.ScatterReplicated(cgRhs)); err != nil {
+			panic(err)
+		}
+		dcg.Close()
+		// Segment 2: the full SCF solver stack.
+		d, err := gpaw.NewDist(c, scfCfg)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ds := gpaw.NewDistSCF(d, sys)
+		ds.Tol = 1e-4
+		if _, err := ds.Run(); err != nil {
+			panic(err)
+		}
+	})
+	return tr, clock, err
+}
+
+// traceArtifacts honors opts.TraceOut and opts.Profile on an
+// experiment that ran the live distributed runtime: one traced SCF is
+// re-run with TracedDist, its timeline written as a Chrome/Perfetto
+// trace-event file and its per-phase profile appended to the notes.
+func traceArtifacts(e *Experiment, opts Options) {
+	if opts.TraceOut == "" && !opts.Profile {
+		return
+	}
+	tr, clock, err := TracedDist(opts)
+	if err != nil {
+		panic(fmt.Sprintf("bench: traced dist SCF: %v", err))
+	}
+	if opts.TraceOut != "" {
+		f, err := os.Create(opts.TraceOut)
+		if err != nil {
+			panic(fmt.Sprintf("bench: trace output: %v", err))
+		}
+		if err := tr.WriteChromeTrace(f, clock); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("bench: trace output: %v", err))
+		}
+		e.AddNote("wrote %s: Chrome/Perfetto trace of one flat-optimized CG+SCF run, one track per rank (%s clock)",
+			opts.TraceOut, clock)
+	}
+	if opts.Profile {
+		e.AddNote("phase profile of one traced flat-optimized CG+SCF run:\n%s", tr.Profile(clock).Table())
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTracedDistAcceptance is the ISSUE acceptance check behind
+// `gpawsim -experiment dist -netmodel -trace out.json -profile`: the
+// traced run must emit a Perfetto-loadable trace with at least two
+// rank tracks carrying nested comm/compute spans, and its profile must
+// report overlap efficiency > 0 on the calibrated overlap run.
+func TestTracedDistAcceptance(t *testing.T) {
+	tr, clock, err := TracedDist(Options{Quick: true, NetModel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock != trace.Virtual {
+		t.Fatalf("netmodel run should use the virtual clock, got %v", clock)
+	}
+
+	p := tr.Profile(clock)
+	if p.OverlapEfficiency <= 0 {
+		t.Errorf("overlap efficiency %.3f, want > 0: the calibrated overlapped CG must hide wait time",
+			p.OverlapEfficiency)
+	}
+	table := p.Table()
+	for _, want := range []string{"overlap efficiency", "poisson.cg", "compute.interior", "halo.wait"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("profile table lacks %q:\n%s", want, table)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, clock); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	tracks := map[int]bool{}
+	type span struct {
+		name    string
+		ts, dur float64
+	}
+	perTrack := map[int][]span{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			tracks[e.Tid] = true
+			perTrack[e.Tid] = append(perTrack[e.Tid], span{e.Name, e.Ts, e.Dur})
+		}
+	}
+	if len(tracks) < 2 {
+		t.Fatalf("trace has %d rank tracks, want >= 2", len(tracks))
+	}
+	// At least one comm span strictly inside a compute/solver region on
+	// some track — the nesting Perfetto renders as stacked slices.
+	nested := false
+	for _, spans := range perTrack {
+		for _, outer := range spans {
+			if strings.HasPrefix(outer.name, "mpi.") || strings.HasPrefix(outer.name, "halo.") {
+				continue
+			}
+			for _, inner := range spans {
+				if inner == outer || !(strings.HasPrefix(inner.name, "mpi.") || strings.HasPrefix(inner.name, "halo.")) {
+					continue
+				}
+				if inner.ts >= outer.ts && inner.ts+inner.dur <= outer.ts+outer.dur && inner.dur < outer.dur {
+					nested = true
+				}
+			}
+		}
+		if nested {
+			break
+		}
+	}
+	if !nested {
+		t.Error("no comm span nested inside a compute/solver region on any track")
+	}
+}
+
+// TestTracedDistDeterministic re-runs the modeled traced workload and
+// requires identical virtual timelines — the NoComputeWall contract.
+func TestTracedDistDeterministic(t *testing.T) {
+	render := func() string {
+		tr, clock, err := TracedDist(Options{Quick: true, NetModel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf, clock); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Error("two modeled traced runs produced different virtual timelines")
+	}
+}

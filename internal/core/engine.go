@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
 	"repro/internal/stencil"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Engine applies a finite-difference operator to sets of identically
@@ -47,7 +49,12 @@ type Engine struct {
 	inflightFree []*InFlightExchange
 }
 
-// Stats accumulates per-rank communication accounting.
+// Stats accumulates per-rank communication accounting: message and
+// exchange counts, traffic volume, and — since the observability layer
+// — wait-time and split-phase compute timings. All durations are in
+// nanoseconds of the engine's profiling clock: the rank's modeled
+// virtual clock when a network model is armed (deterministic under
+// NoComputeWall), wall time otherwise.
 type Stats struct {
 	MessagesSent int64
 	BytesSent    int64
@@ -55,15 +62,41 @@ type Stats struct {
 	SmallestMsg  int64
 	Exchanges    int64 // halo exchanges performed (grids x applications)
 
+	// Waits counts completed exchange waits. WaitNs is the time spent
+	// actually blocked in them (the visible wait); HiddenWaitNs is the
+	// post-to-finish window of split-phase exchanges — in-flight time
+	// the rank spent computing instead of blocking. The overlap
+	// efficiency of a run is HiddenWaitNs / (HiddenWaitNs + WaitNs).
+	Waits        int64
+	WaitNs       int64
+	HiddenWaitNs int64
+
+	// InteriorNs and ShellNs time the split-phase compute callbacks:
+	// deep-interior work overlapped with the halo flight, and
+	// halo-reading shell work after it lands. Zero for the blocking
+	// (finish-then-compute) protocols.
+	InteriorNs int64
+	ShellNs    int64
+
 	// anyMsg distinguishes "no messages yet" from a genuine smallest
 	// message of 0 bytes, so SmallestMsg is not misreported.
 	anyMsg bool
 }
 
+// OverlapEfficiency returns HiddenWaitNs / (HiddenWaitNs + WaitNs) —
+// the fraction of halo latency hidden behind interior compute. Zero
+// when no exchange has completed.
+func (s Stats) OverlapEfficiency() float64 {
+	if t := s.HiddenWaitNs + s.WaitNs; t > 0 {
+		return float64(s.HiddenWaitNs) / float64(t)
+	}
+	return 0
+}
+
 // noteSent records one sent message under the stats lock.
 func (e *Engine) noteSent(bytes int64) {
 	e.statsMu.Lock()
-	e.stats.note(bytes)
+	e.stats.noteMsg(bytes)
 	e.statsMu.Unlock()
 }
 
@@ -74,8 +107,44 @@ func (e *Engine) noteExchanges(n int64) {
 	e.statsMu.Unlock()
 }
 
-// note records one sent message.
-func (s *Stats) note(bytes int64) {
+// noteWait records one completed exchange wait: hidden in-flight time
+// and visible blocked time.
+func (e *Engine) noteWait(hidden, visible int64) {
+	e.statsMu.Lock()
+	e.stats.Waits++
+	if hidden > 0 {
+		e.stats.HiddenWaitNs += hidden
+	}
+	if visible > 0 {
+		e.stats.WaitNs += visible
+	}
+	e.statsMu.Unlock()
+}
+
+// noteSplit records split-phase compute time.
+func (e *Engine) noteSplit(interior, shell int64) {
+	e.statsMu.Lock()
+	if interior > 0 {
+		e.stats.InteriorNs += interior
+	}
+	if shell > 0 {
+		e.stats.ShellNs += shell
+	}
+	e.statsMu.Unlock()
+}
+
+// NoteSplit folds externally timed split-phase compute into the stats
+// (and the armed tracer's counters). The solver layer uses it for
+// interior/shell work it runs itself around StartExchange and
+// FinishExchange, outside the engine's own protocol loop.
+func (e *Engine) NoteSplit(interiorNs, shellNs int64) {
+	e.noteSplit(interiorNs, shellNs)
+	e.cart.TraceRank().AddSplit(interiorNs, shellNs)
+}
+
+// noteMsg folds one sent message into the counters. (This replaces the
+// old bare note(bytes) path, which recorded traffic only.)
+func (s *Stats) noteMsg(bytes int64) {
 	s.MessagesSent++
 	s.BytesSent += bytes
 	if bytes > s.LargestMsg {
@@ -85,6 +154,23 @@ func (s *Stats) note(bytes int64) {
 		s.SmallestMsg = bytes
 		s.anyMsg = true
 	}
+}
+
+// engineEpoch bases the engine's wall profiling clock; only
+// differences of NowNs readings are meaningful.
+var engineEpoch = time.Now()
+
+// NowNs reads the engine's profiling clock: the calling rank's modeled
+// virtual clock when a network model is armed (deterministic under
+// NoComputeWall), monotonic wall nanoseconds otherwise. Solver code
+// uses it so externally timed phases (NoteSplit) share the clock of
+// the engine's own wait accounting.
+func (e *Engine) NowNs() int64 {
+	w := e.cart.World()
+	if w.NetArmed() {
+		return int64(w.VirtualTime(e.cart.WorldRank()))
+	}
+	return int64(time.Since(engineEpoch))
 }
 
 // NewEngine builds the per-rank engine. The cart's dims must match the
@@ -190,6 +276,10 @@ type exchangeState struct {
 	recv [3][2][]float64
 	reqs []*mpi.Request
 	b    Batch
+	// postedNs stamps (on the engine's profiling clock) when the
+	// non-blocking exchange finished posting; finishExchange derives
+	// the hidden wait from it. Zero for blocking exchanges.
+	postedNs int64
 }
 
 // applyScratch is the reusable state of one protocol invocation: the
@@ -235,10 +325,13 @@ func faceTag(tagBase, bi, dim int, side grid.Side) int {
 // startExchange packs the batch's surface points and posts the receives
 // and sends for every dimension at once. Used by the async protocols.
 func (e *Engine) startExchange(st *exchangeState, src []*grid.Grid, tagBase, bi int) {
+	sp := e.cart.TraceRank().Begin("halo.post", trace.KindExchange)
 	st.reqs = st.reqs[:0]
 	for dim := 0; dim < 3; dim++ {
 		e.postDim(st, src, tagBase, bi, dim)
 	}
+	sp.End()
+	st.postedNs = e.NowNs()
 }
 
 // postDim posts the receives and sends of one dimension for the batch.
@@ -283,10 +376,24 @@ func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim i
 // surface points into the grids' halos. Completed receive requests are
 // reclaimed into the world pool for reuse by the next batch.
 func (e *Engine) finishExchange(st *exchangeState, src []*grid.Grid) {
+	rk := e.cart.TraceRank()
+	t0 := e.NowNs()
+	sp := rk.Begin("halo.wait", trace.KindWait)
 	mpi.Waitall(st.reqs...)
+	t1 := e.NowNs()
+	sp.End()
 	e.unpack(st, src)
 	mpi.Reclaim(st.reqs...)
 	st.reqs = st.reqs[:0]
+	// The post-to-finish window is latency the rank could hide behind
+	// compute; the Waitall span is what it could not.
+	var hidden int64
+	if st.postedNs > 0 {
+		hidden = t0 - st.postedNs
+		st.postedNs = 0
+	}
+	e.noteWait(hidden, t1-t0)
+	rk.AddWait(hidden, t1-t0)
 }
 
 // unpack copies every received face buffer into the halos of the batch.
@@ -314,10 +421,19 @@ func (e *Engine) unpack(st *exchangeState, src []*grid.Grid) {
 // complete dimension 1, then dimension 2, then dimension 3 (section
 // IV.A), blocking on each.
 func (e *Engine) exchangeSerialized(st *exchangeState, src []*grid.Grid, tagBase, bi int) {
+	rk := e.cart.TraceRank()
 	for dim := 0; dim < 3; dim++ {
 		st.reqs = st.reqs[:0]
 		e.postDim(st, src, tagBase, bi, dim)
+		// The serialized pattern has no non-blocking window: every wait
+		// is visible, which is exactly what its profile should show.
+		t0 := e.NowNs()
+		sp := rk.Begin("halo.wait", trace.KindWait)
 		mpi.Waitall(st.reqs...)
+		t1 := e.NowNs()
+		sp.End()
+		e.noteWait(0, t1-t0)
+		rk.AddWait(0, t1-t0)
 		mpi.Reclaim(st.reqs...)
 		// Install this dimension's halos before the next dimension runs
 		// (the serialized pattern's defining property).
@@ -363,6 +479,11 @@ func (e *Engine) runBatchesSplit(src []*grid.Grid, tagBase int, interior, shell 
 	if len(src) == 0 {
 		return
 	}
+	// The split-phase callbacks are timed (stats + trace regions) only
+	// when an interior exists: the interior/shell timings specifically
+	// measure the split-phase protocol, and the blocking nil-interior
+	// path must stay untimed and closure-free.
+	rk := e.cart.TraceRank()
 	sc := e.getScratch()
 	defer e.putScratch(sc)
 	sc.batches = appendBatches(sc.batches[:0], len(src), e.opts.BatchSize, e.opts.BatchRamp)
@@ -374,9 +495,11 @@ func (e *Engine) runBatchesSplit(src []*grid.Grid, tagBase int, interior, shell 
 			st.b = b
 			e.exchangeSerialized(st, src, tagBase, bi)
 			if interior != nil {
-				interior(b)
+				e.interiorPhase(rk, interior, b)
+				e.shellPhase(rk, shell, b)
+			} else {
+				shell(b)
 			}
-			shell(b)
 		}
 		return
 	}
@@ -387,10 +510,14 @@ func (e *Engine) runBatchesSplit(src []*grid.Grid, tagBase int, interior, shell 
 			st.b = b
 			e.startExchange(st, src, tagBase, bi)
 			if interior != nil {
-				interior(b)
+				e.interiorPhase(rk, interior, b)
 			}
 			e.finishExchange(st, src)
-			shell(b)
+			if interior != nil {
+				e.shellPhase(rk, shell, b)
+			} else {
+				shell(b)
+			}
 		}
 		return
 	}
@@ -410,11 +537,40 @@ func (e *Engine) runBatchesSplit(src []*grid.Grid, tagBase int, interior, shell 
 			e.startExchange(nxt, src, tagBase, bi+1)
 		}
 		if interior != nil {
-			interior(cur.b)
+			e.interiorPhase(rk, interior, cur.b)
 		}
 		e.finishExchange(cur, src)
-		shell(cur.b)
+		if interior != nil {
+			e.shellPhase(rk, shell, cur.b)
+		} else {
+			shell(cur.b)
+		}
 	}
+}
+
+// interiorPhase and shellPhase run one split-phase compute callback
+// with stats timing and a trace region. They take the callback as a
+// plain parameter (never capturing it) so the protocol loops stay
+// free of heap-allocated closures — the zero-allocation contract of
+// the exchange steady state.
+func (e *Engine) interiorPhase(rk *trace.Rank, f func(b Batch), b Batch) {
+	sp := rk.Begin("compute.interior", trace.KindRegion)
+	t0 := e.NowNs()
+	f(b)
+	d := e.NowNs() - t0
+	sp.End()
+	e.noteSplit(d, 0)
+	rk.AddSplit(d, 0)
+}
+
+func (e *Engine) shellPhase(rk *trace.Rank, f func(b Batch), b Batch) {
+	sp := rk.Begin("compute.shell", trace.KindRegion)
+	t0 := e.NowNs()
+	f(b)
+	d := e.NowNs() - t0
+	sp.End()
+	e.noteSplit(0, d)
+	rk.AddSplit(0, d)
 }
 
 // applyGrids runs the configured protocol over one thread's share of the

@@ -32,11 +32,11 @@ func TestAllApproachesAllWorkerCounts(t *testing.T) {
 // it (regression test for the SmallestMsg == 0 sentinel).
 func TestStatsSmallestMsgZeroByte(t *testing.T) {
 	var s Stats
-	s.note(0)
+	s.noteMsg(0)
 	if s.SmallestMsg != 0 || s.MessagesSent != 1 {
 		t.Fatalf("after 0-byte note: smallest = %d, messages = %d", s.SmallestMsg, s.MessagesSent)
 	}
-	s.note(64)
+	s.noteMsg(64)
 	if s.SmallestMsg != 0 {
 		t.Fatalf("64-byte message displaced the 0-byte smallest: %d", s.SmallestMsg)
 	}
@@ -45,8 +45,8 @@ func TestStatsSmallestMsgZeroByte(t *testing.T) {
 	}
 
 	var s2 Stats
-	s2.note(128)
-	s2.note(32)
+	s2.noteMsg(128)
+	s2.noteMsg(32)
 	if s2.SmallestMsg != 32 || s2.LargestMsg != 128 {
 		t.Fatalf("smallest/largest = %d/%d, want 32/128", s2.SmallestMsg, s2.LargestMsg)
 	}

@@ -256,6 +256,7 @@ func (d *Dist) bandRotate(m int, psis []*grid.Grid, c linalg.Matrix) {
 // runs as the block-circulating distributed GEMM. Bit-identical to the
 // serial orthonormalization for every layout.
 func (d *Dist) orthonormalize(m int, psis []*grid.Grid) error {
+	defer d.Cart.TraceRank().Region("bands.orthonormalize").End()
 	s := linalg.NewMatrix(m, m)
 	d.bandSymMatrix(m, s, psis, psis)
 	ds := pblas.FromReplicated(d.BGrid, s, subspaceBlock, subspaceBlock)
@@ -278,6 +279,7 @@ func (d *Dist) orthonormalize(m int, psis []*grid.Grid) error {
 // rotate to the Ritz vectors by distributed GEMM. Returns all m Ritz
 // values ascending (identical on every rank).
 func (h *DistHamiltonian) RayleighRitz(m int, psis []*grid.Grid) ([]float64, error) {
+	defer h.D.Cart.TraceRank().Region("bands.rayleighritz").End()
 	hp := make([]*grid.Grid, len(psis))
 	for i := range psis {
 		hp[i] = grid.NewDims(psis[i].Dims(), psis[i].H)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Checkpoint/restart. Long SCF runs at Blue Gene scale survive node
@@ -255,8 +256,8 @@ func (w *shardWriter) u64(v uint64) {
 	binary.LittleEndian.PutUint64(b[:], v)
 	w.buf = append(w.buf, b[:]...)
 }
-func (w *shardWriter) i64(v int)       { w.u64(uint64(v)) }
-func (w *shardWriter) f64(v float64)   { w.u64(math.Float64bits(v)) }
+func (w *shardWriter) i64(v int)     { w.u64(uint64(v)) }
+func (w *shardWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
 func (w *shardWriter) f64s(v []float64) {
 	w.i64(len(v))
 	for _, x := range v {
@@ -436,6 +437,8 @@ func (ck *Checkpointer) due(it int) bool {
 // rank 0. The checksum travels through the float64 collective transport
 // bit-exactly (Float64frombits/Float64bits round-trip every uint64).
 func (ck *Checkpointer) save(d *Dist, sh *shard) error {
+	sp := d.Cart.TraceRank().Begin("ckpt.save", trace.KindRegion)
+	defer sp.End()
 	data := sh.encode()
 	step := sh.Iteration
 	if err := ck.Store.PutShard(step, d.World.Rank(), data); err != nil {
@@ -539,6 +542,8 @@ func copyShardBox(dst *grid.Grid, dstOff topology.Coord, sh *shard, field []floa
 // kind selects SCF or eigen shards; the per-state destination grids are
 // allocated here.
 func restore(d *Dist, st Store, step, kind int) (*shard, []*grid.Grid, []*grid.Grid, error) {
+	sp := d.Cart.TraceRank().Begin("ckpt.restore", trace.KindRegion)
+	defer sp.End()
 	man, err := readManifest(st, step)
 	if err != nil {
 		return nil, nil, nil, err

@@ -285,21 +285,34 @@ func (d *Dist) withOverlap(eng *core.Engine, g *grid.Grid, full, interior, shell
 	if d.pointNs > 0 {
 		intPts, shellPts = sweepCharges(g, d.Decomp.Halo)
 	}
+	rk := d.Cart.TraceRank()
 	if !d.overlap {
 		eng.Exchange(d.exBuf)
+		sp := rk.Region("compute.sweep")
 		full()
 		d.chargePoints(intPts + shellPts)
+		sp.End()
 		return
 	}
 	h := eng.StartExchange(d.exBuf)
+	t0 := eng.NowNs()
+	sp := rk.Region("compute.interior")
 	interior()
 	// The interior charge lands before FinishExchange's wait, so under a
 	// network model the modeled arrival hides behind modeled compute —
-	// the overlap the calibrated benchmarks measure.
+	// the overlap the calibrated benchmarks measure. It also lands before
+	// the region end and phase timestamps, so modeled compute shows up as
+	// interior time on both the timeline and the profile.
 	d.chargePoints(intPts)
+	sp.End()
+	t1 := eng.NowNs()
 	eng.FinishExchange(h)
+	t2 := eng.NowNs()
+	sp = rk.Region("compute.shell")
 	shell()
 	d.chargePoints(shellPts)
+	sp.End()
+	eng.NoteSplit(t1-t0, eng.NowNs()-t2)
 }
 
 // --- deterministic global reductions -------------------------------
@@ -522,6 +535,7 @@ func (ps *DistPoisson) residual(r, phi, rhs *grid.Grid) float64 {
 // SolveJacobi mirrors Poisson.SolveJacobi across ranks.
 func (ps *DistPoisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 	d := ps.D
+	defer d.Cart.TraceRank().Region("poisson.jacobi").End()
 	omega := 0.7
 	diag := ps.Op.Center
 	if diag == 0 {
@@ -556,6 +570,7 @@ func (ps *DistPoisson) SolveJacobi(phi, rhs *grid.Grid) (int, float64, error) {
 // axpys. Every alpha/beta and every iterate equals the serial run's.
 func (ps *DistPoisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 	d := ps.D
+	defer d.Cart.TraceRank().Region("poisson.cg").End()
 	neg := ps.Op.Scaled(-1)
 	b := rhs.Clone()
 	d.pool.Scale(b, -1)
@@ -619,6 +634,7 @@ func (ps *DistPoisson) SolveCG(phi, rhs *grid.Grid) (int, float64, error) {
 // distributed with exact reductions.
 func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float64, error) {
 	d := ps.D
+	defer d.Cart.TraceRank().Region("poisson.sor").End()
 	if omega <= 0 || omega >= 2 {
 		return 0, 0, fmt.Errorf("gpaw: SOR omega %g outside (0, 2)", omega)
 	}
@@ -655,6 +671,7 @@ func (ps *DistPoisson) SolveSOR(phi, rhs *grid.Grid, omega float64) (int, float6
 
 // HartreePotential mirrors Poisson.HartreePotential on local grids.
 func (ps *DistPoisson) HartreePotential(n *grid.Grid) (*grid.Grid, error) {
+	defer ps.D.Cart.TraceRank().Region("poisson.hartree").End()
 	rhs := n.Clone()
 	ps.D.pool.Scale(rhs, -4*math.Pi)
 	v := grid.NewDims(n.Dims(), n.H)
@@ -859,6 +876,7 @@ func (mg *DistMultigrid) smooth(lv *distMGLevel, phi, rhs *grid.Grid, n int) {
 	const omega = 0.8
 	c := omega / lv.op.Center
 	d := mg.D
+	defer d.Cart.TraceRank().Region("mg.smooth").End()
 	src, dst := phi, lv.res
 	for s := 0; s < n; s++ {
 		// The callbacks run inside withOverlap, before the swap, so they
@@ -890,6 +908,7 @@ func (mg *DistMultigrid) residualInto(lv *distMGLevel, res, phi, rhs *grid.Grid,
 // only by ranks active at level l.
 func (mg *DistMultigrid) vcycle(l int, phi, rhs *grid.Grid) {
 	d := mg.D
+	defer d.Cart.TraceRank().Region("mg.vcycle").End()
 	lv := mg.levels[l]
 	if l == len(mg.levels)-1 {
 		mg.smooth(lv, phi, rhs, 60) // coarsest: relax hard
@@ -929,6 +948,7 @@ func (mg *DistMultigrid) vcycle(l int, phi, rhs *grid.Grid) {
 // Solve mirrors Multigrid.Solve across ranks.
 func (mg *DistMultigrid) Solve(phi, rhs *grid.Grid) (int, float64, error) {
 	d := mg.D
+	defer d.Cart.TraceRank().Region("mg.solve").End()
 	top := mg.levels[0]
 	b := rhs.Clone()
 	if d.BC == Periodic {
@@ -981,6 +1001,7 @@ func NewDistHamiltonian(d *Dist, h float64, v *grid.Grid) *DistHamiltonian {
 // step) applies H through, so the overlap covers the bands x domain
 // layout too.
 func (h *DistHamiltonian) applyStates(dsts, psis []*grid.Grid, alpha, beta float64) {
+	defer h.D.Cart.TraceRank().Region("eigen.apply").End()
 	if h.D.overlap {
 		h.D.forEachSplit(psis,
 			func(gi int, p *stencil.Pool) { h.T.ApplyStepInterior(p, dsts[gi], psis[gi], h.V, alpha, beta) },
@@ -1051,6 +1072,7 @@ func (es *DistEigenSolver) solve(m int, psis []*grid.Grid, resumePrev []float64,
 		return nil, fmt.Errorf("gpaw: no states to solve")
 	}
 	d := es.H.D
+	defer d.Cart.TraceRank().Region("eigen.solve").End()
 	if lo, hi := d.BandRange(m); hi-lo != len(psis) {
 		return nil, fmt.Errorf("gpaw: band group %d holds %d of %d states, want %d",
 			d.Band, len(psis), m, hi-lo)
@@ -1147,6 +1169,7 @@ func (s *DistSCF) states() int { return (s.Sys.Electrons + 1) / 2 }
 // The returned density is replicated across band groups.
 func (s *DistSCF) buildDensity(m int, psis []*grid.Grid) *grid.Grid {
 	d := s.D
+	defer d.Cart.TraceRank().Region("scf.density").End()
 	n := grid.NewDims(d.local, d.Decomp.Halo)
 	dV := s.Sys.Spacing * s.Sys.Spacing * s.Sys.Spacing
 	remaining := float64(s.Sys.Electrons)
@@ -1220,50 +1243,59 @@ func (s *DistSCF) run(rs *SCFRestart) (*SCFResult, error) {
 		veff = vextLocal.Clone()
 	}
 	for it := start + 1; it <= s.MaxIter; it++ {
-		if s.OnIteration != nil {
-			s.OnIteration(it)
-		}
-		h := NewDistHamiltonian(d, s.Sys.Spacing, veff)
-		es := NewDistEigenSolver(h)
-		es.Tol = 1e-7
-		es.MaxIter = 600
-		var err error
-		eig, err = es.Solve(m, psis)
-		if err != nil {
-			return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
-		}
-		newN := s.buildDensity(m, psis)
-		var residual float64
-		if n == nil {
-			n = newN
-			residual = math.Inf(1)
-		} else {
-			var acc detsum.Acc
-			mixDensityAcc(n, newN, s.Mix, &acc)
-			residual = math.Sqrt(d.reduceAcc(&acc))
-		}
-		vh, err := poisson.HartreePotential(n)
-		if err != nil {
-			return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
-		}
-		updateVeff(veff, vextLocal, vh, n)
-		// Snapshot after the mix and potential update: (psis, n, veff,
-		// eig, it) is the complete SCF state — the Hartree solve holds
-		// no cross-iteration state. Saved before the convergence
-		// branch, which is taken identically on every rank.
-		if s.Ckpt.due(it) {
-			if err := s.Ckpt.saveSCF(s, it, m, eig, psis, n, veff); err != nil {
-				return nil, fmt.Errorf("gpaw: scf iteration %d checkpoint: %w", it, err)
+		// One traced region per SCF iteration; the closure gives the span
+		// a single exit covering the loop body's early returns.
+		res, err := func() (*SCFResult, error) {
+			defer d.Cart.TraceRank().Region("scf.iteration").End()
+			if s.OnIteration != nil {
+				s.OnIteration(it)
 			}
-		}
-		if residual < s.Tol {
-			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
-				Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
-		}
-		if it == s.MaxIter {
-			return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
-					Density: n, VHartree: vh, Iterations: it, Residual: residual},
-				fmt.Errorf("gpaw: SCF did not reach %g (residual %g)", s.Tol, residual)
+			h := NewDistHamiltonian(d, s.Sys.Spacing, veff)
+			es := NewDistEigenSolver(h)
+			es.Tol = 1e-7
+			es.MaxIter = 600
+			var err error
+			eig, err = es.Solve(m, psis)
+			if err != nil {
+				return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+			}
+			newN := s.buildDensity(m, psis)
+			var residual float64
+			if n == nil {
+				n = newN
+				residual = math.Inf(1)
+			} else {
+				var acc detsum.Acc
+				mixDensityAcc(n, newN, s.Mix, &acc)
+				residual = math.Sqrt(d.reduceAcc(&acc))
+			}
+			vh, err := poisson.HartreePotential(n)
+			if err != nil {
+				return nil, fmt.Errorf("gpaw: scf iteration %d hartree: %w", it, err)
+			}
+			updateVeff(veff, vextLocal, vh, n)
+			// Snapshot after the mix and potential update: (psis, n, veff,
+			// eig, it) is the complete SCF state — the Hartree solve holds
+			// no cross-iteration state. Saved before the convergence
+			// branch, which is taken identically on every rank.
+			if s.Ckpt.due(it) {
+				if err := s.Ckpt.saveSCF(s, it, m, eig, psis, n, veff); err != nil {
+					return nil, fmt.Errorf("gpaw: scf iteration %d checkpoint: %w", it, err)
+				}
+			}
+			if residual < s.Tol {
+				return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+					Density: n, VHartree: vh, Iterations: it, Residual: residual}, nil
+			}
+			if it == s.MaxIter {
+				return &SCFResult{Eigenvalues: eig, TotalEnergy: bandEnergy(eig, s.Sys.Electrons),
+						Density: n, VHartree: vh, Iterations: it, Residual: residual},
+					fmt.Errorf("gpaw: SCF did not reach %g (residual %g)", s.Tol, residual)
+			}
+			return nil, nil
+		}()
+		if res != nil || err != nil {
+			return res, err
 		}
 	}
 	return nil, fmt.Errorf("gpaw: unreachable")

@@ -250,6 +250,9 @@ func RunSCFFT(comm *mpi.Comm, cfg DistConfig, sys System, ft FTConfig) (*SCFResu
 			c = c.Shrink(view)
 			procs, _ = chooseProcs(cfg.Global, c.Size(), cfg.Halo)
 			bands = 1
+			// Recovery milestone on the timeline: bytes carries the
+			// survivor count of the shrunken world.
+			c.TraceRank().Mark("ft.recover", -1, -1, int64(c.Size()))
 			continue
 		}
 		return res, err

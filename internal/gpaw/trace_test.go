@@ -1,0 +1,224 @@
+package gpaw
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// Tracing must observe, never perturb: a traced solve has to produce
+// exactly the bits an untraced one does, for every rank count and
+// approach, and the recorded spans must form a well-nested timeline.
+
+// runDistTraced is runDist with a tracer armed on the world before the
+// ranks start.
+func runDistTraced(t *testing.T, tr *trace.Tracer, global, procs topology.Dims, a core.Approach, body func(d *Dist)) {
+	t.Helper()
+	w := mpi.NewWorld(procs.Count(), modeFor(a))
+	w.SetTracer(tr)
+	err := w.Run(func(c *mpi.Comm) {
+		d, err := NewDist(c, DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: Dirichlet,
+			Approach: a, Threads: threadsFor(a), Batch: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		body(d)
+	})
+	if err != nil {
+		t.Fatalf("procs %v approach %v: %v", procs, a, err)
+	}
+}
+
+// tracedCG runs the distributed CG solve and returns the gathered
+// solution (rank 0), iteration count and residual.
+func tracedCG(t *testing.T, tr *trace.Tracer, global, procs topology.Dims, a core.Approach, rhs *grid.Grid) (*grid.Grid, int, float64) {
+	t.Helper()
+	var gathered *grid.Grid
+	var iters int
+	var res float64
+	run := runDistTraced
+	if tr == nil {
+		run = func(t *testing.T, _ *trace.Tracer, global, procs topology.Dims, a core.Approach, body func(d *Dist)) {
+			runDist(t, global, procs, Dirichlet, a, body)
+		}
+	}
+	run(t, tr, global, procs, a, func(d *Dist) {
+		ps := NewDistPoisson(d, 0.35)
+		phi := d.NewLocalGrid()
+		it, r, err := ps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		g := d.GatherGlobal(phi)
+		if d.Cart.Rank() == 0 {
+			gathered, iters, res = g, it, r
+		}
+	})
+	return gathered, iters, res
+}
+
+// TestTracedBitIdentical runs the CG solver traced and untraced for
+// every rank count and approach and requires bitwise-equal solutions,
+// iteration counts and residuals — tracing must not perturb results.
+func TestTracedBitIdentical(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	rhs := poissonRHS(global)
+	for _, p := range rankCounts(t) {
+		var procs topology.Dims
+		for _, l := range layoutsFor(p) {
+			if feasible(global, l, 2) {
+				procs = l
+				break
+			}
+		}
+		if procs == (topology.Dims{}) {
+			continue
+		}
+		for _, a := range core.Approaches {
+			t.Run(fmt.Sprintf("p%d/%v", p, a), func(t *testing.T) {
+				wantPhi, wantIt, wantRes := tracedCG(t, nil, global, procs, a, rhs)
+				tr := trace.New(p, 1<<14)
+				gotPhi, gotIt, gotRes := tracedCG(t, tr, global, procs, a, rhs)
+				if gotIt != wantIt || gotRes != wantRes {
+					t.Fatalf("traced run: %d iters res %g, untraced %d iters res %g",
+						gotIt, gotRes, wantIt, wantRes)
+				}
+				if diff := gotPhi.MaxAbsDiff(wantPhi); diff != 0 {
+					t.Fatalf("traced solution deviates from untraced by %g", diff)
+				}
+				if len(tr.Events()) == 0 {
+					t.Fatal("traced run recorded no events")
+				}
+				for r := 0; r < p; r++ {
+					names := map[string]bool{}
+					for _, e := range tr.RankEvents(r) {
+						names[e.Name] = true
+					}
+					if !names["poisson.cg"] {
+						t.Errorf("rank %d track lacks the poisson.cg region", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTracedSpansStrictlyNested checks the single-threaded protocol
+// records a laminar span family per rank: any two spans are disjoint
+// or one contains the other (children recorded before parents).
+func TestTracedSpansStrictlyNested(t *testing.T) {
+	global := topology.Dims{16, 16, 16}
+	procs := topology.Dims{1, 2, 1}
+	rhs := poissonRHS(global)
+	tr := trace.New(2, 1<<14)
+	tracedCG(t, tr, global, procs, core.FlatOptimized, rhs)
+	for r := 0; r < 2; r++ {
+		type iv struct{ s, e int64 }
+		var ivs []iv
+		for _, ev := range tr.RankEvents(r) {
+			if ev.Kind != trace.KindMark {
+				ivs = append(ivs, iv{ev.Start, ev.Start + ev.Dur})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].s != ivs[j].s {
+				return ivs[i].s < ivs[j].s
+			}
+			return ivs[i].e > ivs[j].e
+		})
+		var stack []iv
+		for _, v := range ivs {
+			for len(stack) > 0 && stack[len(stack)-1].e <= v.s {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && v.e > stack[len(stack)-1].e {
+				t.Fatalf("rank %d: span [%d,%d) partially overlaps enclosing [%d,%d)",
+					r, v.s, v.e, stack[len(stack)-1].s, stack[len(stack)-1].e)
+			}
+			stack = append(stack, v)
+		}
+	}
+}
+
+// TestTracedFaultRecovery arms tracing together with the full
+// fault-tolerant SCF lifecycle: rank 2 dies mid-run, the survivors
+// recover from the last checkpoint, the result stays bit-identical to
+// the undisturbed run, and the death/recovery/checkpoint milestones
+// all land on the timeline.
+func TestTracedFaultRecovery(t *testing.T) {
+	global := topology.Dims{8, 8, 8}
+	h := 0.7
+	sys := System{
+		Dims: global, Spacing: h, BC: Dirichlet,
+		Vext: HarmonicPotential(global, h, 1), Electrons: 2,
+	}
+	serial := NewSCF(sys)
+	serial.Tol = 1e-4
+	want, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const p = 4
+	tr := trace.New(p, 1<<15)
+	w := mpi.NewWorld(p, mpi.ThreadSingle)
+	w.SetTracer(tr)
+	store := NewMemStore()
+	var got *SCFResult
+	err = w.Run(func(c *mpi.Comm) {
+		res, err := RunSCFFT(c, DistConfig{
+			Global: global, Procs: topology.Dims{2, 2, 1}, Halo: 2,
+			BC: sys.BC, Approach: core.FlatOptimized, Batch: 2,
+		}, sys, FTConfig{
+			Store: store, Every: 1, Recover: true,
+			Configure: func(s *DistSCF) {
+				s.Tol = 1e-4
+				s.OnIteration = func(it int) {
+					if it == 3 && c.Rank() == 2 {
+						c.Fail()
+					}
+				}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			got = res
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEnergy != want.TotalEnergy || got.Iterations != want.Iterations {
+		t.Fatalf("recovered run E=%v it=%d, fault-free E=%v it=%d",
+			got.TotalEnergy, got.Iterations, want.TotalEnergy, want.Iterations)
+	}
+	counts := map[string]int{}
+	for _, e := range tr.Events() {
+		counts[e.Name]++
+	}
+	if counts["ft.dead"] == 0 {
+		t.Error("no ft.dead mark on the timeline")
+	}
+	if counts["ft.recover"] == 0 {
+		t.Error("no ft.recover mark on the timeline")
+	}
+	if counts["ckpt.save"] == 0 {
+		t.Error("no ckpt.save spans on the timeline")
+	}
+	if counts["ckpt.restore"] == 0 {
+		t.Error("no ckpt.restore spans on the timeline")
+	}
+	if counts["scf.iteration"] == 0 || counts["poisson.cg"] == 0 {
+		t.Errorf("solver regions missing from the traced recovery run: %v", counts)
+	}
+}

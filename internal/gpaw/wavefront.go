@@ -94,6 +94,7 @@ func newSORWavefront(d *Dist, op *stencil.Operator) *sorWavefront {
 // call); on return phi's interior equals the serial SORSweep result for
 // the assembled global grid, bit for bit.
 func (w *sorWavefront) sweep(phi, rhs *grid.Grid, omega float64) {
+	defer w.d.Cart.TraceRank().Region("sor.wavefront").End()
 	t := w.op.R
 	w.up[0].Recv(w.bx)
 	if w.up[0].Active() {

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Collectives are implemented over point-to-point messages with reserved
 // negative tags derived from the communicator's context id and a per-rank
@@ -57,6 +61,9 @@ func (o Op) apply(dst, src []float64) {
 func (c *Comm) Barrier() {
 	c.enter()
 	defer c.exit()
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.barrier", trace.KindCollective, -1, -1, 0).End()
+	}
 	tag := c.collTag(c.coll)
 	c.coll++
 	p := len(c.group)
@@ -78,6 +85,9 @@ func (c *Comm) Barrier() {
 func (c *Comm) Bcast(root int, buf []float64) {
 	c.enter()
 	defer c.exit()
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.bcast", trace.KindCollective, c.worldRank(root), -1, int64(len(buf))*8).End()
+	}
 	tag := c.collTag(c.coll)
 	c.coll++
 	p := len(c.group)
@@ -125,6 +135,9 @@ func (c *Comm) Bcast(root int, buf []float64) {
 func (c *Comm) Reduce(root int, op Op, in, out []float64) {
 	c.enter()
 	defer c.exit()
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.reduce", trace.KindCollective, c.worldRank(root), -1, int64(len(in))*8).End()
+	}
 	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank != root {
@@ -162,6 +175,9 @@ func (c *Comm) Reduce(root int, op Op, in, out []float64) {
 func (c *Comm) ReduceFunc(root int, in, out []float64, merge func(acc, contrib []float64)) {
 	c.enter()
 	defer c.exit()
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.reduce", trace.KindCollective, c.worldRank(root), -1, int64(len(in))*8).End()
+	}
 	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank != root {
@@ -194,6 +210,9 @@ func (c *Comm) AllreduceFunc(in, out []float64, merge func(acc, contrib []float6
 	if len(out) < len(in) {
 		panic("mpi: AllreduceFunc output shorter than input")
 	}
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.allreduce", trace.KindCollective, -1, -1, int64(len(in))*8).End()
+	}
 	c.ReduceFunc(0, in, out, merge)
 	c.Bcast(0, out[:len(in)])
 }
@@ -203,6 +222,9 @@ func (c *Comm) AllreduceFunc(in, out []float64, merge func(acc, contrib []float6
 func (c *Comm) Allreduce(op Op, in, out []float64) {
 	if len(out) < len(in) {
 		panic("mpi: Allreduce output shorter than input")
+	}
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.allreduce", trace.KindCollective, -1, -1, int64(len(in))*8).End()
 	}
 	c.Reduce(0, op, in, out)
 	c.Bcast(0, out[:len(in)])
@@ -222,6 +244,9 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 func (c *Comm) Gather(root int, in, out []float64) {
 	c.enter()
 	defer c.exit()
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.gather", trace.KindCollective, c.worldRank(root), -1, int64(len(in))*8).End()
+	}
 	tag := c.collTag(c.coll)
 	c.coll++
 	if c.rank == root {
@@ -244,6 +269,9 @@ func (c *Comm) Gather(root int, in, out []float64) {
 func (c *Comm) Allgather(in, out []float64) {
 	if len(out) < len(in)*len(c.group) {
 		panic("mpi: Allgather output too short")
+	}
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.allgather", trace.KindCollective, -1, -1, int64(len(in))*8).End()
 	}
 	c.Gather(0, in, out)
 	c.Bcast(0, out[:len(in)*len(c.group)])

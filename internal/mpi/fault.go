@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Fault tolerance. This file adds a ULFM-flavoured failure model to the
@@ -167,6 +169,9 @@ func (w *World) die(rank int) {
 	w.dead[rank] = true
 	w.deadList = append(w.deadList, rank)
 	w.deadMu.Unlock()
+	if rk := w.traceRankFor(rank); rk != nil {
+		rk.Mark("ft.dead", -1, -1, 0)
+	}
 	w.ftOn.Store(true)
 	w.revoke(w.epoch.Load(), rank)
 }
@@ -299,6 +304,9 @@ func (c *Comm) Agree() []int {
 	if w.isDead(me) {
 		panic(rankKilled{me})
 	}
+	if rk := w.traceRankFor(me); rk != nil {
+		defer rk.BeginComm("mpi.agree", trace.KindCollective, -1, -1, 0).End()
+	}
 	w.agreeMu.Lock()
 	if w.agreeRounds == nil {
 		w.agreeRounds = make(map[agreeKey]*agreeRound)
@@ -413,6 +421,9 @@ func (c *Comm) Shrink(live []int) *Comm {
 	if newRank < 0 {
 		panic(fmt.Sprintf("mpi: rank %d shrinking out of its own survivor set %v", c.rank, live))
 	}
+	if rk := w.traceRankFor(me); rk != nil {
+		rk.Mark("ft.shrink", -1, -1, int64(len(live)))
+	}
 	return &Comm{
 		world:  w,
 		rank:   newRank,
@@ -436,10 +447,10 @@ type PendingOp struct {
 // still pending world-wide at that moment — a deadlock turned into an
 // actionable error.
 type TimeoutError struct {
-	After time.Duration
-	Rank  int // world rank that timed out
-	Peer  int // comm rank the timed-out receive expected
-	Tag   int
+	After   time.Duration
+	Rank    int // world rank that timed out
+	Peer    int // comm rank the timed-out receive expected
+	Tag     int
 	Pending []PendingOp
 }
 

@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ThreadMode is the MPI-2 thread support level of a World.
@@ -143,6 +145,12 @@ type World struct {
 	// counts only genuine wall time, never modeled delivery delay.
 	pacedNs atomic.Int64
 	pacing  atomic.Int32
+
+	// Tracing state (see trace.go and internal/trace). trcOn gates every
+	// emission site behind one atomic load, exactly like ftOn and netOn:
+	// worlds that never arm a tracer pay nothing beyond it.
+	trcOn  atomic.Bool
+	tracer *trace.Tracer
 }
 
 // NewWorld creates a world of n ranks with the given thread mode.
@@ -377,8 +385,17 @@ func (c *Comm) send(to, tag int, data []float64) {
 
 // sendInternal is send without the tag-sign restriction; collectives use
 // negative tags so they can never collide with user point-to-point
-// traffic.
+// traffic. When tracing is armed it records one send span per message
+// (virtual duration = the modeled post cost).
 func (c *Comm) sendInternal(to, tag int, data []float64) {
+	if rk := c.traceRank(); rk != nil {
+		defer rk.BeginComm("mpi.send", trace.KindSend, c.worldRank(to), tag, int64(len(data))*8).End()
+	}
+	c.sendDeliver(to, tag, data)
+}
+
+// sendDeliver performs the untraced eager delivery.
+func (c *Comm) sendDeliver(to, tag int, data []float64) {
 	toW := c.worldRank(to)
 	if c.world.ftOn.Load() {
 		c.world.checkPeer(c.epoch, toW)

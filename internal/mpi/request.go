@@ -3,6 +3,8 @@ package mpi
 import (
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Request tracks the completion of a non-blocking operation, like
@@ -139,6 +141,21 @@ func (r *Request) completeErr(src, tag, n int, err error) {
 // delay served anywhere in the world extends the deadline, so a slow
 // modeled network can never masquerade as a deadlock.
 func (r *Request) Wait() (src, tag, n int) {
+	// Traced waits become timeline spans whose virtual duration covers
+	// the clock jump to the message's modeled arrival; the peer, tag
+	// and size are only known at completion, so they are stamped then.
+	if w := r.w; w != nil && w.trcOn.Load() {
+		if rk := w.traceRankFor(r.owner); rk != nil {
+			sp := rk.BeginComm("mpi.wait", trace.KindWait, -1, -1, 0)
+			src, tag, n = r.wait()
+			sp.EndComm(src, tag, int64(n)*8)
+			return src, tag, n
+		}
+	}
+	return r.wait()
+}
+
+func (r *Request) wait() (src, tag, n int) {
 	// Wait is an MPI-call boundary of its own (engine code calls it on
 	// standalone requests, outside any Comm entry point), so it does its
 	// own compute accrual — otherwise wall time spent blocked here would

@@ -5,7 +5,16 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/trace"
 )
+
+// region opens a named trace span on the grid's communicator — the
+// dense subspace algebra shows up on the timeline under pblas.* names
+// alongside its own broadcasts. End the returned span with .End(); the
+// nil path (tracing off) costs one atomic load.
+func (g *Grid2D) region(name string) trace.Span {
+	return g.Comm.TraceRank().Region(name)
+}
 
 // This file implements the distributed dense kernels. Each one is
 // bit-identical to its replicated internal/linalg counterpart because
@@ -52,6 +61,7 @@ func MatMul(a, b *DistMatrix) (*DistMatrix, error) {
 	}
 	g := a.G
 	c := NewDist(g, a.M, b.N, a.MB, b.NB)
+	defer g.region("pblas.summa").End()
 	kbs := a.NB
 	nkb := (a.N + kbs - 1) / kbs
 	for kb := 0; kb < nkb; kb++ {
@@ -126,6 +136,7 @@ func Cholesky(a *DistMatrix) (*DistMatrix, error) {
 			a.M, a.N, a.MB, a.NB)
 	}
 	g := a.G
+	defer g.region("pblas.cholesky").End()
 	n, b := a.N, a.MB
 	l := a.Clone()
 	diag := replicateDiag(a)
@@ -266,6 +277,7 @@ func ForwardSolve(l, bm *DistMatrix) (*DistMatrix, error) {
 			bm.M, bm.N, bm.MB, l.N, l.MB)
 	}
 	g := l.G
+	defer g.region("pblas.trsm").End()
 	n, b := l.N, l.MB
 	x := bm.Clone()
 	nblocks := (n + b - 1) / b
@@ -349,6 +361,7 @@ func SymEig(a *DistMatrix) (eig []float64, vecs *DistMatrix, err error) {
 	if a.M != a.N {
 		return nil, nil, fmt.Errorf("pblas: SymEig of %dx%d matrix", a.M, a.N)
 	}
+	defer a.G.region("pblas.symeig").End()
 	rep := a.Replicate()
 	eig, v, err := linalg.SymEig(rep)
 	if err != nil {

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's
+// traceEvents array (the JSON shape Perfetto and chrome://tracing
+// load). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON with
+// one named track ("rank N") per rank, under the chosen clock. Load
+// the file at https://ui.perfetto.dev or chrome://tracing. Spans
+// become complete ("X") events carrying peer/tag/bytes args; marks
+// become thread-scoped instants.
+func (t *Tracer) WriteChromeTrace(w io.Writer, clock Clock) error {
+	ct := chromeTrace{DisplayTimeUnit: "ms"}
+	ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": fmt.Sprintf("gpaw run (%s clock)", clock)},
+	})
+	for r := 0; r < len(t.ranks); r++ {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for r := 0; r < len(t.ranks); r++ {
+		events := t.RankEvents(r)
+		// Chrome's importer wants non-decreasing timestamps per track;
+		// the ring holds completion order, so sort by start.
+		sort.SliceStable(events, func(a, b int) bool {
+			sa, _ := clock.pick(&events[a])
+			sb, _ := clock.pick(&events[b])
+			return sa < sb
+		})
+		for i := range events {
+			e := &events[i]
+			s, d := clock.pick(e)
+			ce := chromeEvent{
+				Name: e.Name, Cat: e.Kind.String(), Pid: 0, Tid: r,
+				Ts: float64(s) / 1e3,
+			}
+			args := map[string]any{}
+			if e.Peer >= 0 {
+				args["peer"] = e.Peer
+			}
+			if e.Tag >= 0 {
+				args["tag"] = e.Tag
+			}
+			if e.Bytes > 0 {
+				args["bytes"] = e.Bytes
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			if e.Kind == KindMark {
+				ce.Ph, ce.S = "i", "t"
+			} else {
+				ce.Ph = "X"
+				dur := float64(d) / 1e3
+				if dur < 0 {
+					dur = 0
+				}
+				ce.Dur = &dur
+			}
+			ct.TraceEvents = append(ct.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&ct)
+}
+
+// WriteTimeline renders up to maxPerRank events per rank as an
+// indented span tree — a quick terminal view of the same structure
+// Perfetto draws. Depth is reconstructed with the profile's interval
+// sweep; times print in microseconds under the chosen clock.
+func (t *Tracer) WriteTimeline(w io.Writer, clock Clock, maxPerRank int) {
+	for r := 0; r < len(t.ranks); r++ {
+		events := t.RankEvents(r)
+		if len(events) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "rank %d (%s clock, µs):\n", r, clock)
+		type iv struct {
+			idx        int
+			start, end int64
+		}
+		order := make([]iv, 0, len(events))
+		for i := range events {
+			s, d := clock.pick(&events[i])
+			if d < 0 {
+				d = 0
+			}
+			order = append(order, iv{idx: i, start: s, end: s + d})
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if order[a].start != order[b].start {
+				return order[a].start < order[b].start
+			}
+			if order[a].end != order[b].end {
+				return order[a].end > order[b].end
+			}
+			return order[a].idx > order[b].idx
+		})
+		var stack []iv
+		printed := 0
+		for _, e := range order {
+			for len(stack) > 0 && stack[len(stack)-1].end <= e.start {
+				stack = stack[:len(stack)-1]
+			}
+			depth := len(stack)
+			if len(stack) > 0 && e.end > stack[len(stack)-1].end {
+				depth = len(stack) - 1 // partial overlap: sibling, not child
+			}
+			stack = append(stack, e)
+			if printed >= maxPerRank {
+				continue
+			}
+			printed++
+			ev := &events[e.idx]
+			fmt.Fprintf(w, "  %10.3f %9.3f  %s%s", float64(e.start)/1e3,
+				float64(e.end-e.start)/1e3, indent(depth), ev.Name)
+			if ev.Peer >= 0 {
+				fmt.Fprintf(w, " peer=%d", ev.Peer)
+			}
+			if ev.Bytes > 0 {
+				fmt.Fprintf(w, " %s", fmtBytes(ev.Bytes))
+			}
+			fmt.Fprintln(w)
+		}
+		if printed < len(order) {
+			fmt.Fprintf(w, "  ... %d more events\n", len(order)-printed)
+		}
+	}
+}
+
+func indent(depth int) string {
+	const dots = ". . . . . . . . . . . . . . . . "
+	if n := 2 * depth; n <= len(dots) {
+		return dots[:n]
+	}
+	return dots
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingOverflowDropsOldest fills a ring past capacity and checks
+// the newest events survive, in order, with an exact drop count.
+func TestRingOverflowDropsOldest(t *testing.T) {
+	tr := New(1, 16)
+	rk := tr.Rank(0)
+	names := make([]string, 40)
+	for i := range names {
+		names[i] = "ev" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		rk.Mark(names[i], -1, i, 0)
+	}
+	got := tr.RankEvents(0)
+	if len(got) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(got))
+	}
+	for i, e := range got {
+		if want := names[len(names)-16+i]; e.Name != want {
+			t.Fatalf("event %d = %q, want %q (oldest must be dropped first)", i, e.Name, want)
+		}
+		if e.Tag != len(names)-16+i {
+			t.Fatalf("event %d tag = %d, corrupted ring", i, e.Tag)
+		}
+	}
+	if d := tr.Dropped(); d != int64(len(names)-16) {
+		t.Fatalf("dropped = %d, want %d", d, len(names)-16)
+	}
+}
+
+// TestNilAndDisabled checks every emission path is inert on a nil
+// handle and on a disabled tracer.
+func TestNilAndDisabled(t *testing.T) {
+	var rk *Rank
+	rk.Begin("x", KindRegion).End()
+	rk.BeginComm("x", KindSend, 1, 2, 3).End()
+	rk.Region("x").End()
+	rk.Mark("x", -1, -1, 0)
+	rk.AddWait(1, 2)
+	rk.AddSplit(3, 4)
+
+	tr := New(2, 16)
+	tr.Disable()
+	h := tr.Rank(0)
+	h.Region("x").End()
+	h.Mark("x", -1, -1, 0)
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("disabled tracer recorded %d events", n)
+	}
+	tr.Enable()
+	h.Region("y").End()
+	if n := len(tr.Events()); n != 1 {
+		t.Fatalf("re-enabled tracer recorded %d events, want 1", n)
+	}
+	if tr.Rank(5) != nil || tr.Rank(-1) != nil {
+		t.Fatal("out-of-range Rank must be nil")
+	}
+}
+
+// TestZeroAllocEmission asserts the steady-state recording path does
+// not allocate: spans are value tokens and the ring is preallocated.
+func TestZeroAllocEmission(t *testing.T) {
+	tr := New(1, 64)
+	rk := tr.Rank(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		s := rk.BeginComm("mpi.send", KindSend, 1, 7, 4096)
+		s.End()
+		rk.Region("compute").End()
+		rk.Mark("mark", -1, -1, 0)
+		rk.AddWait(10, 5)
+		rk.AddSplit(20, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("recording allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSelfTimeNesting builds a synthetic nested timeline and checks
+// self-time subtraction and the comm/compute split.
+func TestSelfTimeNesting(t *testing.T) {
+	tr := New(1, 64)
+	rk := tr.Rank(0)
+	// Hand-build events with virtual clocks: parent [0,100] containing
+	// child compute [10,40] and a wait [50,80]; completion order is
+	// child, wait, parent (as real spans would record).
+	rk.push(Event{Name: "child", Kind: KindRegion, VStart: 10, VDur: 30})
+	rk.push(Event{Name: "wait", Kind: KindWait, VStart: 50, VDur: 30})
+	rk.push(Event{Name: "parent", Kind: KindRegion, VStart: 0, VDur: 100})
+	p := tr.Profile(Virtual)
+	byName := map[string]PhaseStat{}
+	for _, ps := range p.Phases {
+		byName[ps.Name] = ps
+	}
+	if got := byName["parent"].SelfNs; got != 40 {
+		t.Fatalf("parent self = %d, want 100-30-30 = 40", got)
+	}
+	if got := byName["child"].SelfNs; got != 30 {
+		t.Fatalf("child self = %d, want 30", got)
+	}
+	if p.CommNs != 30 || p.ComputeNs != 70 {
+		t.Fatalf("comm/compute = %d/%d, want 30/70", p.CommNs, p.ComputeNs)
+	}
+}
+
+// TestSelfTimeZeroDurationTies checks the parent/child tie-break when
+// the virtual clock did not advance: later-recorded (the parent) wins,
+// and nothing goes negative.
+func TestSelfTimeZeroDurationTies(t *testing.T) {
+	tr := New(1, 16)
+	rk := tr.Rank(0)
+	rk.push(Event{Name: "inner", Kind: KindRegion, VStart: 5, VDur: 0})
+	rk.push(Event{Name: "outer", Kind: KindRegion, VStart: 5, VDur: 0})
+	p := tr.Profile(Virtual)
+	for _, ps := range p.Phases {
+		if ps.SelfNs < 0 {
+			t.Fatalf("phase %s has negative self time %d", ps.Name, ps.SelfNs)
+		}
+	}
+}
+
+// TestOverlapEfficiency checks the counter math.
+func TestOverlapEfficiency(t *testing.T) {
+	tr := New(2, 16)
+	if e := tr.OverlapEfficiency(); e != 0 {
+		t.Fatalf("empty tracer efficiency = %v, want 0", e)
+	}
+	tr.Rank(0).AddWait(75, 25)
+	tr.Rank(1).AddWait(25, 75)
+	if e := tr.OverlapEfficiency(); e != 0.5 {
+		t.Fatalf("efficiency = %v, want 0.5", e)
+	}
+	p := tr.Profile(Wall)
+	if p.OverlapEfficiency != 0.5 || p.HiddenWaitNs != 100 || p.VisibleWaitNs != 100 {
+		t.Fatalf("profile wait accounting wrong: %+v", p)
+	}
+}
+
+// TestChromeTrace checks the export is valid JSON with one named
+// track per rank and well-formed complete events.
+func TestChromeTrace(t *testing.T) {
+	tr := New(3, 32)
+	for r := 0; r < 3; r++ {
+		rk := tr.Rank(r)
+		s := rk.Region("solve")
+		rk.BeginComm("mpi.send", KindSend, (r+1)%3, 4, 800).End()
+		s.End()
+		rk.Mark("ckpt.save", -1, -1, 1024)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, Wall); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	tracks := map[int]bool{}
+	var spans, marks int
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				tracks[e.Tid] = true
+			}
+		case "X":
+			spans++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete event %q lacks a non-negative dur", e.Name)
+			}
+		case "i":
+			marks++
+		}
+	}
+	if len(tracks) != 3 {
+		t.Fatalf("thread_name tracks = %d, want 3", len(tracks))
+	}
+	if spans != 6 || marks != 3 {
+		t.Fatalf("spans/marks = %d/%d, want 6/3", spans, marks)
+	}
+}
+
+// TestTimelineSmoke exercises the text timeline renderer.
+func TestTimelineSmoke(t *testing.T) {
+	tr := New(2, 32)
+	for r := 0; r < 2; r++ {
+		rk := tr.Rank(r)
+		s := rk.Region("outer")
+		rk.Region("inner").End()
+		s.End()
+	}
+	var buf bytes.Buffer
+	tr.WriteTimeline(&buf, Wall, 10)
+	out := buf.String()
+	if !strings.Contains(out, "rank 0") || !strings.Contains(out, "rank 1") {
+		t.Fatalf("timeline missing rank headers:\n%s", out)
+	}
+	if !strings.Contains(out, "inner") || !strings.Contains(out, "outer") {
+		t.Fatalf("timeline missing span names:\n%s", out)
+	}
+}
+
+// TestConcurrentEmission hammers one rank's ring from several
+// goroutines (the MULTIPLE-mode shape) — run under -race in CI.
+func TestConcurrentEmission(t *testing.T) {
+	tr := New(2, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rk := tr.Rank(g % 2)
+			for i := 0; i < 500; i++ {
+				s := rk.BeginComm("mpi.send", KindSend, g, i, 64)
+				rk.AddWait(1, 1)
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(len(tr.Events())) + tr.Dropped()
+	if total != 2000 {
+		t.Fatalf("events+dropped = %d, want 2000", total)
+	}
+	_ = tr.Profile(Wall)
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

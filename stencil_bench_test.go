@@ -15,6 +15,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/stencil"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Benchmarks for the shared-memory parallel stencil execution engine:
@@ -256,6 +257,39 @@ func overlapCGModeled(p int, overlap bool, m topology.Mapping, global topology.D
 	return iters, mk, err
 }
 
+// overlapCGProfile is the overlapped arm of overlapCGModeled with a
+// tracer armed, reduced to the virtual-clock per-phase profile. Every
+// number in it is a deterministic model prediction (NoComputeWall).
+func overlapCGProfile(p int, global topology.Dims, rhs *grid.Grid, tol float64) (*trace.Profile, error) {
+	procs := topology.DecomposeGrid(p, global)
+	cfg := gpaw.DistConfig{
+		Global: global, Procs: procs, Halo: 2, BC: gpaw.Dirichlet,
+		Approach: core.FlatOptimized, Batch: 1, Threads: 1,
+		Map: topology.MapCart, NetCompute: true,
+	}
+	nm := bgpsim.NetModelFor(p)
+	nm.Coords = gpaw.NetCoords(cfg, nm.Net)
+	nm.NoComputeWall = true
+	tr := trace.New(p, 1<<16)
+	w := mpi.NewWorld(p, mpi.ThreadSingle)
+	w.SetNetModel(nm)
+	w.SetTracer(tr)
+	err := w.Run(func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, 0.3)
+		ps.Tol = tol
+		phi := d.NewLocalGrid()
+		if _, _, err := ps.SolveCG(phi, d.ScatterReplicated(rhs)); err != nil {
+			panic(err)
+		}
+	})
+	return tr.Profile(trace.Virtual), err
+}
+
 // wavefrontSORModeled is wavefrontSOR under the calibrated model,
 // returning the deterministic virtual makespan of the solve.
 func wavefrontSORModeled(p int, global topology.Dims, rhs *grid.Grid, tol float64) (int, time.Duration, error) {
@@ -309,6 +343,10 @@ type calibratedBenchReport struct {
 	// Cartesian torus embedding, the default linear fill and the
 	// worst-case shuffled placement (cart < shuffle asserted).
 	MappingCGVirtUs64 map[string]float64 `json:"mapping_cg_virt_us_ranks64"`
+	// Per-phase profile of the traced 8-rank overlapped CG solve under
+	// the virtual clock: comm/compute split, overlap efficiency and the
+	// span aggregates of internal/trace. Deterministic (NoComputeWall).
+	Profile *trace.Profile `json:"profile"`
 }
 
 // stencilBenchReport is the schema of BENCH_stencil.json.
@@ -541,6 +579,15 @@ func TestWriteStencilBenchJSON(t *testing.T) {
 	if c, s := cal.MappingCGVirtUs64["cart"], cal.MappingCGVirtUs64["shuffle"]; c >= s {
 		t.Errorf("calibrated 64-rank CG: cart mapping (%.1fus) not cheaper than shuffle (%.1fus)", c, s)
 	}
+	prof, err := overlapCGProfile(8, ovGlobal, ovRhs, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.OverlapEfficiency <= 0 {
+		t.Errorf("traced calibrated 8-rank CG reports overlap efficiency %.3f, want > 0",
+			prof.OverlapEfficiency)
+	}
+	cal.Profile = prof
 
 	if os.Getenv("BENCH_STENCIL_JSON") != "" {
 		out, err := json.MarshalIndent(&rep, "", "  ")

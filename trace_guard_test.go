@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpaw"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// overlapCGTraced is overlapCG with a tracer attached to the world
+// before the ranks start. The tracer may be disabled: that is the
+// configuration the overhead guard prices, since tracing off must be
+// near-free on the hot solver path.
+func overlapCGTraced(p int, tr *trace.Tracer, global topology.Dims, rhs *grid.Grid, tol float64) (int, error) {
+	procs := topology.DecomposeGrid(p, global)
+	var iters int
+	w := mpi.NewWorld(p, mpi.ThreadSingle)
+	w.SetTracer(tr)
+	err := w.Run(func(c *mpi.Comm) {
+		d, err := gpaw.NewDist(c, gpaw.DistConfig{
+			Global: global, Procs: procs, Halo: 2, BC: gpaw.Dirichlet,
+			Approach: core.FlatOptimized, Batch: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer d.Close()
+		ps := gpaw.NewDistPoisson(d, 0.3)
+		ps.Tol = tol
+		phi := d.NewLocalGrid()
+		it, _, err := ps.SolveCG(phi, d.ScatterReplicated(rhs))
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			iters = it
+		}
+	})
+	return iters, err
+}
+
+// TestTracingDisabledOverheadGuard prices the cost of shipping the
+// tracing hooks when tracing is off: the overlapped 32^3 CG solve with
+// a disabled tracer attached must stay within 2% (plus a small
+// absolute slack for timer noise) of the same solve with no tracer at
+// all. Wall-clock guards are load-sensitive, so the test only runs
+// when TRACE_OVERHEAD_GUARD=1 (the CI trace-smoke job sets it); both
+// arms are interleaved and the minimum of each is compared.
+func TestTracingDisabledOverheadGuard(t *testing.T) {
+	if os.Getenv("TRACE_OVERHEAD_GUARD") == "" {
+		t.Skip("set TRACE_OVERHEAD_GUARD=1 to run the wall-clock overhead guard")
+	}
+	const p = 2
+	global := topology.Dims{32, 32, 32}
+	rhs := benchPoissonProblem32()
+	tr := trace.New(p, 1<<10)
+	tr.Disable()
+
+	minOff, minDisabled := time.Duration(1<<62), time.Duration(1<<62)
+	var itOff, itDisabled int
+	for i := 0; i < 6; i++ {
+		start := time.Now()
+		it, err := overlapCG(p, true, global, rhs, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < minOff {
+			minOff = d
+		}
+		itOff = it
+
+		start = time.Now()
+		it, err = overlapCGTraced(p, tr, global, rhs, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < minDisabled {
+			minDisabled = d
+		}
+		itDisabled = it
+	}
+	if itOff != itDisabled {
+		t.Fatalf("disabled-tracer solve took %d iterations, untraced %d", itDisabled, itOff)
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatalf("disabled tracer recorded %d events", len(tr.Events()))
+	}
+	limit := minOff + minOff/50 + 2*time.Millisecond
+	t.Logf("untraced %v, disabled tracer %v (limit %v)", minOff, minDisabled, limit)
+	if minDisabled > limit {
+		t.Errorf("disabled tracing costs %v vs %v untraced: over the 2%% budget",
+			minDisabled, minOff)
+	}
+}
