@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CopyLocks is the bundled stock-style pass: a self-contained
+// reimplementation of vet's copylocks check covering the shapes that
+// matter to this runtime (mpi.Request, trace.Rank and every mailbox
+// struct embed sync primitives; copying one by value forks its
+// internal state and deadlocks or races). It flags by-value function
+// parameters, receivers and results of lock-containing types, range
+// statements that copy lock-containing elements, and assignments
+// that dereference a pointer to a lock-containing value.
+var CopyLocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag values of lock-containing types (sync.Mutex et al.) passed or copied by value",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *Pass) error {
+	info := pass.TypesInfo
+	reportType := func(pos token.Pos, t types.Type, what string) {
+		if path := lockPath(t, nil); path != "" {
+			pass.Reportf(pos, "%s copies lock value: %s contains %s", what, types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList := func(fl *ast.FieldList, what string) {
+					if fl == nil {
+						return
+					}
+					for _, fld := range fl.List {
+						if t := fieldType(info, fld); t != nil {
+							reportType(fld.Pos(), t, what)
+						}
+					}
+				}
+				checkFieldList(v.Recv, "receiver")
+				checkFieldList(v.Type.Params, "parameter")
+				checkFieldList(v.Type.Results, "result")
+			case *ast.RangeStmt:
+				if v.Value != nil {
+					// In the `:=` form the value is a defined ident
+					// (recorded in Defs, not Types).
+					if id, ok := v.Value.(*ast.Ident); ok {
+						if obj := info.Defs[id]; obj != nil {
+							reportType(id.Pos(), obj.Type(), "range value")
+							break
+						}
+					}
+					if tv, ok := info.Types[v.Value]; ok && tv.Type != nil {
+						reportType(v.Value.Pos(), tv.Type, "range value")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, r := range v.Rhs {
+					if ue, ok := ast.Unparen(r).(*ast.StarExpr); ok {
+						if tv, ok := info.Types[ue]; ok && tv.Type != nil {
+							reportType(r.Pos(), tv.Type, "assignment dereferences and")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldType resolves the declared type of a field-list entry.
+func fieldType(info *types.Info, fld *ast.Field) types.Type {
+	if fld.Type == nil {
+		return nil
+	}
+	if tv, ok := info.Types[fld.Type]; ok && tv.Type != nil {
+		// Pointers and interfaces are fine to copy.
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature, *types.Slice:
+			return nil
+		}
+		return tv.Type
+	}
+	return nil
+}
+
+// lockPath returns a human-readable path to a lock inside t ("" when
+// t contains no lock). A type "is a lock" when *T has a Lock method
+// (sync.Mutex, RWMutex, Once, WaitGroup, Pool's victim cache...);
+// struct types are searched field-recursively.
+func lockPath(t types.Type, seen []types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	if hasPtrLockMethod(t) {
+		return types.TypeString(t, nil)
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			if p := lockPath(arr.Elem(), seen); p != "" {
+				return "[...]" + p
+			}
+		}
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if p := lockPath(f.Type(), seen); p != "" {
+			return f.Name() + "." + p
+		}
+	}
+	return ""
+}
+
+// hasPtrLockMethod reports whether *t declares a Lock method — the
+// vet heuristic for "this value must not be copied".
+func hasPtrLockMethod(t types.Type) bool {
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() == "Lock" {
+				if sig, ok := m.Type().(*types.Signature); ok &&
+					sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

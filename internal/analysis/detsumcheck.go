@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// DetsumGuardedPackages matches the import paths in which raw
+// floating-point accumulation is forbidden: the solver and runtime
+// packages whose reductions must be bit-identical across ranks,
+// threads and decompositions, and therefore must flow through
+// detsum.Acc. Packages outside the set (linalg's dense kernels, the
+// detsum implementation itself) are exempt.
+var DetsumGuardedPackages = regexp.MustCompile(`(^|/)internal/(gpaw|stencil|grid|pblas|core)$`)
+
+// DetsumCheck flags raw floating-point accumulation across loop
+// iterations in the guarded solver packages. The bit-identity
+// invariant (PR 2) requires every sum whose term order could vary
+// with the worker count, rank count or decomposition to flow through
+// detsum.Acc; a bare `s += x[i]` loop is exactly the shape that
+// silently breaks it during refactoring. Fixed-order rank-local sums
+// that are provably deterministic may be annotated with
+// //lint:ignore detsumcheck <why the order is fixed>.
+var DetsumCheck = &Analyzer{
+	Name: "detsumcheck",
+	Doc: "flag raw floating-point accumulation in bit-identity-critical packages; " +
+		"cross-worker/cross-rank reductions must use detsum.Acc",
+	Run: runDetsumCheck,
+}
+
+func runDetsumCheck(pass *Pass) error {
+	if !DetsumGuardedPackages.MatchString(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return
+			}
+			lhs, rhs, ok := accumulationParts(pass.TypesInfo, as)
+			if !ok {
+				return
+			}
+			_ = rhs
+			tv, ok := pass.TypesInfo.Types[lhs]
+			if !ok || !isFloat(tv.Type) {
+				return
+			}
+			loop := innermostLoop(stack)
+			if loop == nil {
+				return // straight-line accumulation, fixed order
+			}
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				obj := exprObj(pass.TypesInfo, l)
+				if obj == nil || !accumulatesAcrossIterations(obj, loop) {
+					return
+				}
+			case *ast.SelectorExpr:
+				// A float field accumulated inside a loop always
+				// accumulates across iterations.
+			default:
+				return // x[i] += v is element-wise, not a reduction
+			}
+			pass.Reportf(as.Pos(),
+				"raw floating-point accumulation across loop iterations; "+
+					"cross-worker/cross-rank reductions must flow through detsum.Acc "+
+					"(use //lint:ignore detsumcheck <reason> only for provably fixed-order rank-local sums)")
+		})
+	}
+	return nil
+}
+
+// accumulationParts recognises `x += e`, `x -= e`, `x = x + e`,
+// `x = e + x` and `x = x - e` and returns the accumulator expression.
+func accumulationParts(info *types.Info, as *ast.AssignStmt) (lhs ast.Expr, rhs ast.Expr, ok bool) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil, false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		return as.Lhs[0], as.Rhs[0], true
+	case token.ASSIGN:
+		be, okb := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+		if !okb || (be.Op != token.ADD && be.Op != token.SUB) {
+			return nil, nil, false
+		}
+		l := as.Lhs[0]
+		if sameVar(info, l, be.X) {
+			return l, be.Y, true
+		}
+		if be.Op == token.ADD && sameVar(info, l, be.Y) {
+			return l, be.X, true
+		}
+	}
+	return nil, nil, false
+}
+
+// sameVar reports whether two expressions denote the same variable
+// object (plain identifiers only).
+func sameVar(info *types.Info, a, b ast.Expr) bool {
+	oa, ob := exprObj(info, a), exprObj(info, b)
+	return oa != nil && oa == ob
+}
+
+// innermostLoop returns the nearest enclosing for/range statement
+// from the ancestor stack, or nil.
+func innermostLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil // loops outside the closest function don't count
+		}
+	}
+	return nil
+}
+
+// accumulatesAcrossIterations reports whether obj outlives one
+// iteration of the given loop: declared outside the loop body (for a
+// for-statement, init-clause variables persist across iterations; for
+// a range statement, the key/value variables are per-iteration).
+func accumulatesAcrossIterations(obj types.Object, loop ast.Node) bool {
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		return !within(obj.Pos(), l.Body)
+	case *ast.RangeStmt:
+		return !within(obj.Pos(), l)
+	}
+	return false
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos < n.End()
+}
+
+// walkWithStack visits every node with its ancestor chain.
+func walkWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

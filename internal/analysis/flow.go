@@ -1,0 +1,573 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the lightweight path-sensitive engine shared
+// by tracepair and requestleak. Both analyzers must prove that a
+// value produced at one site (a trace span Begin, an Isend/Irecv
+// request) reaches a closing operation (End, Wait/Waitall/...) on
+// every control-flow path out of the enclosing function.
+//
+// The engine walks statement lists sequentially, forking the
+// obligation state at branches and merging with set-union (an
+// obligation stays open unless every surviving path closed it).
+// Escape is conservative in the caller's favour: a value that is
+// returned, stored into a field, slice, map or channel, captured by
+// a goroutine, or passed as an argument to another function is
+// assumed to be managed elsewhere and its obligation is closed. The
+// one deliberate refinement is the append-transfer rule: appending an
+// obligated value to a local slice moves the obligation onto the
+// slice variable, so `reqs = append(reqs, c.Isend(...))` followed by
+// `mpi.Waitall(reqs...)` is recognised end to end.
+
+// obSpec parameterises the engine for one analyzer.
+type obSpec struct {
+	// isSource reports whether the call creates an obligation and
+	// returns its description ("span \"poisson.cg\"", "Isend request").
+	isSource func(p *Pass, call *ast.CallExpr) (string, bool)
+	// isCloserMethod reports whether the named method, invoked on the
+	// obligated value as receiver, discharges the obligation (End,
+	// EndComm, Wait). Argument-position closers (Waitall, Reclaim)
+	// need no listing: passing the value to any call discharges it.
+	isCloserMethod func(p *Pass, call *ast.CallExpr) bool
+	// leakMsg formats the finding for an obligation that fails to
+	// reach a closer on some path.
+	leakMsg func(desc string) string
+	// dropMsg formats the finding for a source call whose result is
+	// discarded outright.
+	dropMsg func(desc string) string
+}
+
+// obligation is one open obligation.
+type obligation struct {
+	desc string
+	pos  token.Pos
+	obj  types.Object // variable currently holding the value (nil if none)
+}
+
+// obState maps holder variables to their open obligations.
+type obState map[types.Object]*obligation
+
+func (st obState) clone() obState {
+	out := make(obState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// union keeps an obligation open if it is open in either state.
+func union(a, b obState) obState {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// flowWalker runs one spec over one function body.
+type flowWalker struct {
+	pass     *Pass
+	spec     *obSpec
+	reported map[token.Pos]bool
+}
+
+func runFlow(pass *Pass, spec *obSpec) {
+	w := &flowWalker{pass: pass, spec: spec, reported: map[token.Pos]bool{}}
+	runBody := func(body *ast.BlockStmt) {
+		st := obState{}
+		if !w.walkStmts(body.List, st) {
+			w.reportOpen(st)
+		}
+	}
+	for _, f := range pass.Files {
+		enclosingFuncs(f, func(fd *ast.FuncDecl) {
+			runBody(fd.Body)
+			// Function literals get their own flow root: obligations
+			// opened inside a closure must be discharged inside it
+			// (crossing the boundary is treated as escape by both
+			// walks, so the two roots never double-report).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					runBody(lit.Body)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// report emits one finding per obligation source position.
+func (w *flowWalker) report(ob *obligation) {
+	if w.reported[ob.pos] {
+		return
+	}
+	w.reported[ob.pos] = true
+	w.pass.Reportf(ob.pos, "%s", w.spec.leakMsg(ob.desc))
+}
+
+// reportDrop emits the discarded-result finding.
+func (w *flowWalker) reportDrop(desc string, pos token.Pos) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, "%s", w.spec.dropMsg(desc))
+}
+
+func (w *flowWalker) reportOpen(st obState) {
+	for obj, ob := range st {
+		w.report(ob)
+		delete(st, obj)
+	}
+}
+
+// close discharges the obligation held by obj, if any.
+func (w *flowWalker) close(st obState, obj types.Object) {
+	if obj != nil {
+		delete(st, obj)
+	}
+}
+
+// walkStmts walks a statement list sequentially; it returns true when
+// control cannot fall off the end (return/panic/branch).
+func (w *flowWalker) walkStmts(stmts []ast.Stmt, st obState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) walkStmt(stmt ast.Stmt, st obState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.scanExprs(st, s.X)
+		// A source call whose result is thrown away is an immediate
+		// finding: the obligation can never be met.
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if desc, ok := w.spec.isSource(w.pass, call); ok {
+				w.reportDrop(desc, call.Pos())
+			}
+			if w.isTerminalCall(call) {
+				return true
+			}
+		}
+
+	case *ast.AssignStmt:
+		w.scanExprs(st, s.Rhs...)
+		w.bindAssign(st, s.Lhs, s.Rhs)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				w.scanExprs(st, vs.Values...)
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.bindAssign(st, lhs, vs.Values)
+			}
+		}
+
+	case *ast.DeferStmt:
+		// A deferred closer covers every path that runs after the
+		// defer statement executes; discharge from here on.
+		w.scanExprs(st, s.Call)
+
+	case *ast.GoStmt:
+		w.scanExprs(st, s.Call)
+
+	case *ast.SendStmt:
+		w.scanExprs(st, s.Chan, s.Value)
+		if obj := exprObj(w.pass.TypesInfo, s.Value); obj != nil {
+			w.close(st, obj) // escapes via channel
+		}
+
+	case *ast.ReturnStmt:
+		w.scanExprs(st, s.Results...)
+		for _, r := range s.Results {
+			if obj := exprObj(w.pass.TypesInfo, r); obj != nil {
+				w.close(st, obj) // escapes to caller
+			}
+		}
+		w.reportOpen(st)
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto: state does not flow past; reporting at
+		// the loop/label join is beyond this engine's precision, so
+		// err on the quiet side.
+		return true
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Cond)
+		thenSt := st.clone()
+		thenTerm := w.walkStmts(s.Body.List, thenSt)
+		var elseSt obState
+		elseTerm := false
+		if s.Else != nil {
+			elseSt = st.clone()
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		} else {
+			elseSt = st.clone() // condition-false falls through
+		}
+		merge(st, thenSt, thenTerm, elseSt, elseTerm)
+		return thenTerm && elseTerm && s.Else != nil
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanExprs(st, s.Cond)
+		}
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+		if s.Post != nil {
+			w.walkStmt(s.Post, bodySt)
+		}
+		w.loopExit(st, bodySt, s.Body)
+
+	case *ast.RangeStmt:
+		w.scanExprs(st, s.X)
+		// Range-close: iterating a slice that holds an obligation and
+		// discharging the element variable inside the body closes the
+		// slice's obligation (`for _, r := range reqs { r.Wait() }`).
+		if obj := exprObj(w.pass.TypesInfo, s.X); obj != nil {
+			if _, open := st[obj]; open && w.bodyDischargesRangeVar(s) {
+				w.close(st, obj)
+			}
+		}
+		bodySt := st.clone()
+		w.walkStmts(s.Body.List, bodySt)
+		w.loopExit(st, bodySt, s.Body)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(st, s)
+	}
+	return false
+}
+
+// merge folds two branch end-states back into st with set-union,
+// skipping terminated branches (their state never reaches the join).
+func merge(st obState, a obState, aTerm bool, b obState, bTerm bool) {
+	for k := range st {
+		delete(st, k)
+	}
+	if !aTerm {
+		for k, v := range a {
+			st[k] = v
+		}
+	}
+	if !bTerm {
+		for k, v := range b {
+			if _, ok := st[k]; !ok {
+				st[k] = v
+			}
+		}
+	}
+}
+
+// loopExit folds a loop body's end-state into the fall-through state.
+// Obligations bound to variables declared inside the body are
+// per-iteration: leaking them to the back edge is a definite leak,
+// reported here. Obligations on outer variables survive the loop
+// (union with the zero-iteration path).
+func (w *flowWalker) loopExit(st, bodySt obState, body *ast.BlockStmt) {
+	for obj, ob := range bodySt {
+		if obj != nil && obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+			w.report(ob)
+			delete(bodySt, obj)
+		}
+	}
+	for k, v := range union(st, bodySt) {
+		st[k] = v
+	}
+}
+
+// walkCases handles switch/type-switch/select uniformly.
+func (w *flowWalker) walkCases(st obState, stmt ast.Stmt) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanExprs(st, s.Tag)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	pre := st.clone()
+	allTerm := true
+	first := true
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			w.scanExprs(st, cc.List...)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		}
+		caseSt := pre.clone()
+		term := w.walkStmts(stmts, caseSt)
+		if term {
+			continue
+		}
+		allTerm = false
+		if first {
+			for k := range st {
+				delete(st, k)
+			}
+			first = false
+		}
+		for k, v := range caseSt {
+			if _, ok := st[k]; !ok {
+				st[k] = v
+			}
+		}
+	}
+	if !hasDefault {
+		// No default: the no-match path falls through with the
+		// pre-switch state.
+		for k, v := range pre {
+			if _, ok := st[k]; !ok {
+				st[k] = v
+			}
+		}
+		return false
+	}
+	if allTerm {
+		return true
+	}
+	return false
+}
+
+// bodyDischargesRangeVar reports whether a range body closes the
+// element variable of the range (receiver of a closer method, or
+// passed to some call).
+func (w *flowWalker) bodyDischargesRangeVar(s *ast.RangeStmt) bool {
+	valObj := exprObj(w.pass.TypesInfo, s.Value)
+	if valObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if w.spec.isCloserMethod(w.pass, call) {
+			if exprObj(w.pass.TypesInfo, methodRecv(call)) == valObj {
+				found = true
+			}
+		}
+		for _, a := range call.Args {
+			if exprObj(w.pass.TypesInfo, a) == valObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// scanExprs applies the intra-statement rules to every call under the
+// given expressions: closer methods discharge their receiver,
+// arguments passed to non-builtin calls escape (discharge), and
+// closures are scanned for the same.
+func (w *flowWalker) scanExprs(st obState, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if w.spec.isCloserMethod(w.pass, call) {
+				w.close(st, exprObj(w.pass.TypesInfo, methodRecv(call)))
+				return true
+			}
+			if isBuiltinCall(w.pass.TypesInfo, call, "append") {
+				// handled by bindAssign's transfer rule
+				return true
+			}
+			for _, a := range call.Args {
+				if obj := exprObj(w.pass.TypesInfo, a); obj != nil {
+					w.close(st, obj) // escapes into the callee
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bindAssign handles obligation creation and movement for one
+// (possibly multi-value) assignment.
+func (w *flowWalker) bindAssign(st obState, lhs, rhs []ast.Expr) {
+	bindOne := func(l, r ast.Expr) {
+		lobj := lhsObj(w.pass.TypesInfo, l)
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			if desc, ok := w.spec.isSource(w.pass, call); ok {
+				if lobj == nil || isBlank(l) {
+					// stored into a field/element (escapes) or
+					// explicitly discarded
+					if isBlank(l) {
+						w.reportDrop(desc, call.Pos())
+					}
+					return
+				}
+				st[lobj] = &obligation{desc: desc, pos: call.Pos(), obj: lobj}
+				return
+			}
+			if isBuiltinCall(w.pass.TypesInfo, call, "append") {
+				w.bindAppend(st, l, lobj, call)
+				return
+			}
+		}
+		// Alias move: x := r where r holds an obligation. Assigning to
+		// blank reads without consuming — `_ = req` is not a discharge.
+		if isBlank(l) {
+			return
+		}
+		if robj := exprObj(w.pass.TypesInfo, r); robj != nil {
+			if ob, open := st[robj]; open {
+				w.close(st, robj)
+				if lobj != nil {
+					ob.obj = lobj
+					st[lobj] = ob
+				}
+			}
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			bindOne(lhs[i], rhs[i])
+		}
+	} else if len(rhs) == 1 {
+		// multi-value call: sources never return multiple values in
+		// this suite; still scan the single RHS against the first LHS
+		bindOne(lhs[0], rhs[0])
+	}
+}
+
+// bindAppend transfers obligations from appended elements onto the
+// destination slice variable.
+func (w *flowWalker) bindAppend(st obState, l ast.Expr, lobj types.Object, call *ast.CallExpr) {
+	var moved *obligation
+	for i, a := range call.Args {
+		if i == 0 {
+			continue // the destination slice
+		}
+		if src, ok := ast.Unparen(a).(*ast.CallExpr); ok {
+			if desc, ok := w.spec.isSource(w.pass, src); ok {
+				moved = &obligation{desc: desc, pos: src.Pos()}
+				continue
+			}
+		}
+		if obj := exprObj(w.pass.TypesInfo, a); obj != nil {
+			if ob, open := st[obj]; open {
+				w.close(st, obj)
+				moved = ob
+			}
+		}
+	}
+	if moved == nil {
+		return
+	}
+	if lobj == nil || isBlank(l) {
+		return // appended into a field-held slice: escapes
+	}
+	moved.obj = lobj
+	st[lobj] = moved
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit, testing Fatal/FailNow.
+func (w *flowWalker) isTerminalCall(call *ast.CallExpr) bool {
+	info := w.pass.TypesInfo
+	if isBuiltinCall(info, call, "panic") {
+		return true
+	}
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Name() {
+	case "os":
+		return obj.Name() == "Exit"
+	case "log":
+		return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "Fatalln"
+	case "runtime":
+		return obj.Name() == "Goexit"
+	case "testing":
+		return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "FailNow" || obj.Name() == "SkipNow" || obj.Name() == "Skipf" || obj.Name() == "Skip"
+	}
+	return false
+}
+
+// lhsObj resolves an assignment target to a variable object; nil for
+// fields, elements and the blank identifier.
+func lhsObj(info *types.Info, l ast.Expr) types.Object {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

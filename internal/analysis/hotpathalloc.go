@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathDirective marks a function as part of the zero-allocation
+// steady state: the kernel, halo-exchange and trace-emission paths
+// whose AllocsPerRun==0 regression tests pin the contract at runtime.
+const HotpathDirective = "//gpaw:hotpath"
+
+// HotpathAlloc flags allocating constructs inside functions annotated
+// //gpaw:hotpath. The runtime's steady-state exchange and tracing
+// paths are guarded by AllocsPerRun==0 tests, but those tests only
+// see the lines they execute; this pass makes the contract hold
+// statically. Amortised allocations (an append into a pooled slice
+// that is warm in steady state) may be justified with
+// //lint:ignore hotpathalloc <reason>.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid make/new/append, fmt calls, allocating conversions, capturing closures " +
+		"and go statements in functions annotated //gpaw:hotpath",
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		enclosingFuncs(f, func(fd *ast.FuncDecl) {
+			if !funcHasDirective(fd, HotpathDirective) {
+				return
+			}
+			checkHotpathBody(pass, fd)
+		})
+	}
+	return nil
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(), "%s in //gpaw:hotpath function %s (zero-allocation steady-state contract)", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			report(v, "goroutine launch")
+
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[v]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					report(v, "slice literal")
+				case *types.Map:
+					report(v, "map literal")
+				}
+			}
+
+		case *ast.UnaryExpr:
+			if _, ok := v.X.(*ast.CompositeLit); ok && v.Op.String() == "&" {
+				report(v, "heap-escaping &composite literal")
+			}
+
+		case *ast.FuncLit:
+			if captures(info, v) {
+				report(v, "variable-capturing closure")
+			}
+
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+				if _, isB := info.Uses[id].(*types.Builtin); isB {
+					switch id.Name {
+					case "make":
+						report(v, "make")
+					case "new":
+						report(v, "new")
+					case "append":
+						report(v, "append (growth allocates; justify pooled appends with lint:ignore)")
+					}
+					return true
+				}
+			}
+			if obj := calleeObj(info, v); obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "fmt" {
+				report(v, "fmt call")
+				return true
+			}
+			// Allocating conversions: string <-> []byte/[]rune.
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+				dst, src := tv.Type, info.Types[v.Args[0]].Type
+				if convAllocates(dst, src) {
+					report(v, "allocating string conversion")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// captures reports whether the function literal references variables
+// declared outside it (a closure that must be heap-allocated).
+// References to package-level objects, functions, constants and types
+// do not count.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if !within(v.Pos(), lit) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// convAllocates reports conversions that copy memory: string to/from
+// []byte or []rune.
+func convAllocates(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStr(src))
+}

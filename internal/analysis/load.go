@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// exportCache maps package paths to compiled export-data files, so
+// repeated loads (the analysistest runner resolves imports per
+// testdata package) reuse one `go list -export` invocation per path.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// goList runs `go list -e -export -deps -json` on the given patterns
+// in dir and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	exportCache.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportCache.m[p.ImportPath] = p.Export
+		}
+	}
+	exportCache.Unlock()
+	return pkgs, nil
+}
+
+// exportImporter builds a types.Importer that resolves imports from
+// the compiled export data recorded in the export cache.
+func exportImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exportCache.Lock()
+		file, ok := exportCache.m[path]
+		exportCache.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// TypeCheckUnit parses and type-checks one compilation unit with an
+// explicit importer, import-path resolver (vendoring/ImportMap) and
+// minimum Go version — the shape the go vet unit protocol provides.
+func TypeCheckUnit(fset *token.FileSet, importPath string, filenames []string, imp types.Importer, resolve func(string) string, goVersion string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if resolve != nil {
+		inner := imp
+		imp = importerFunc(func(path string) (*types.Package, error) {
+			return inner.Import(resolve(path))
+		})
+	}
+	info := newInfo()
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		Info:       info,
+	}, nil
+}
+
+// TypeCheck parses and type-checks one package's files against the
+// export-data importer.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string) (*Package, error) {
+	return TypeCheckUnit(fset, importPath, filenames, exportImporter(fset), nil, "")
+}
+
+// Load loads, parses and type-checks the packages matching the given
+// go-list patterns (relative to dir; empty dir means the current
+// directory). Only non-test files are loaded — the invariants guard
+// production code. Dependencies are imported from compiled export
+// data, so loading is roughly as fast as `go build`.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		var filenames []string
+		for _, f := range lp.GoFiles {
+			filenames = append(filenames, filepath.Join(lp.Dir, f))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		pkg, err := TypeCheck(fset, lp.ImportPath, filenames)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads one directory of Go files (an analysistest testdata
+// package, which the go tool itself will not list) as the given
+// import path. Imports are resolved by go-listing them first, so
+// testdata may import the real repro packages it exercises.
+func LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var filenames []string
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		filenames = append(filenames, name)
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			importSet[imp.Path.Value[1:len(imp.Path.Value)-1]] = true
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var missing []string
+	exportCache.Lock()
+	for p := range importSet {
+		if _, ok := exportCache.m[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	exportCache.Unlock()
+	if len(missing) > 0 {
+		if _, err := goList(dir, missing); err != nil {
+			return nil, err
+		}
+	}
+	pkg, err := TypeCheck(token.NewFileSet(), importPath, filenames)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// RankFailErr enforces typed inspection of rank-failure errors. The
+// fault-tolerant runtime (PR 6) surfaces rank death as a typed
+// *mpi.ErrRankFailed and provides mpi.AsRankFailure for recovery
+// paths; matching on the rendered error string instead couples
+// recovery to the message text (which carries rank numbers, epochs
+// and op details that change freely) and silently stops matching on
+// the next wording change. This pass flags string comparisons and
+// strings.* matching applied to an error's Error() text when the
+// pattern mentions rank failure.
+var RankFailErr = &Analyzer{
+	Name: "rankfailerr",
+	Doc: "rank-failure errors must be inspected with mpi.AsRankFailure or " +
+		"errors.As/Is typed checks, never by matching the error string",
+	Run: runRankFailErr,
+}
+
+// rankFailLiteral reports whether a matched pattern looks like it
+// targets rank-failure text.
+func rankFailLiteral(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "rank") && (strings.Contains(ls, "fail") || strings.Contains(ls, "die") || strings.Contains(ls, "dead")) ||
+		strings.Contains(ls, "rank failed") || strings.Contains(ls, "failed rank")
+}
+
+// stringsMatchers are the strings-package predicates used for ad-hoc
+// error matching.
+var stringsMatchers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"Index": true, "EqualFold": true, "Count": true,
+}
+
+func runRankFailErr(pass *Pass) error {
+	if pass.Pkg.Name() == "mpi" {
+		// The transport formats the messages it owns.
+		return nil
+	}
+	info := pass.TypesInfo
+	report := func(pos token.Pos) {
+		pass.Reportf(pos, "rank-failure errors must be inspected with mpi.AsRankFailure "+
+			"(or errors.As against *mpi.ErrRankFailed), not by matching the error text; "+
+			"the message wording is not part of the failure contract")
+	}
+	constStr := func(e ast.Expr) (string, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil {
+			return "", false
+		}
+		if s := tv.Value.ExactString(); len(s) >= 2 && s[0] == '"' {
+			return s[1 : len(s)-1], true
+		}
+		return "", false
+	}
+	// isErrorText reports whether e is err.Error() (or a variable of
+	// type string assigned from it — only the direct call is matched;
+	// laundering through a variable is rare enough to accept).
+	isErrorText := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		obj := calleeObj(info, call)
+		if obj == nil || obj.Name() != "Error" {
+			return false
+		}
+		recv := methodRecv(call)
+		if recv == nil {
+			return false
+		}
+		tv, ok := info.Types[recv]
+		return ok && tv.Type != nil && isErrorType(tv.Type)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [][2]ast.Expr{{v.X, v.Y}, {v.Y, v.X}} {
+					if isErrorText(pair[0]) {
+						if s, ok := constStr(pair[1]); ok && rankFailLiteral(s) {
+							report(v.Pos())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				obj := calleeObj(info, v)
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "strings" || !stringsMatchers[obj.Name()] {
+					return true
+				}
+				hasErrText, hasRankLit := false, false
+				for _, a := range v.Args {
+					if isErrorText(a) {
+						hasErrText = true
+					}
+					if s, ok := constStr(a); ok && rankFailLiteral(s) {
+						hasRankLit = true
+					}
+				}
+				if hasErrText && hasRankLit {
+					report(v.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

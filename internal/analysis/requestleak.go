@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// RequestLeak enforces the non-blocking communication contract: every
+// *mpi.Request returned by Isend/Irecv must reach Wait, Waitall,
+// Testall or Reclaim on every control-flow path. A request that is
+// silently dropped leaves a posted receive (or an unretired send) in
+// the mailbox forever — exactly the liveness bug the fault-tolerant
+// runtime's op-timeout dump exists to diagnose at runtime; this pass
+// catches it before the code ever runs. Storing a request into a
+// struct field, slice or channel, returning it, or handing it to
+// another function transfers responsibility and is accepted;
+// appending to a local slice is tracked through to a later
+// Waitall(reqs...) or range-Wait.
+var RequestLeak = &Analyzer{
+	Name: "requestleak",
+	Doc: "every Isend/Irecv request must reach Wait/Waitall/Testall/Reclaim " +
+		"on all control-flow paths",
+	Run: runRequestLeak,
+}
+
+func runRequestLeak(pass *Pass) error {
+	if pass.Pkg.Name() == "mpi" {
+		// The transport manages request lifecycles internally
+		// (pooling, revocation); the contract binds its consumers.
+		return nil
+	}
+	runFlow(pass, &obSpec{
+		isSource: func(p *Pass, call *ast.CallExpr) (string, bool) {
+			obj := calleeObj(p.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "mpi" {
+				return "", false
+			}
+			if obj.Name() != "Isend" && obj.Name() != "Irecv" {
+				return "", false
+			}
+			if !isNamedType(p.TypesInfo.Types[call].Type, "mpi", "Request") {
+				return "", false
+			}
+			return obj.Name() + " request", true
+		},
+		isCloserMethod: func(p *Pass, call *ast.CallExpr) bool {
+			obj := calleeObj(p.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "mpi" || obj.Name() != "Wait" {
+				return false
+			}
+			recv := methodRecv(call)
+			return recv != nil && isNamedType(p.TypesInfo.Types[recv].Type, "mpi", "Request")
+		},
+		leakMsg: func(desc string) string {
+			return desc + " may not reach Wait/Waitall/Testall/Reclaim on every path; " +
+				"a leaked request strands mailbox state and can hang a peer's matching op"
+		},
+		dropMsg: func(desc string) string {
+			return desc + " is discarded; its completion can never be observed " +
+				"(call Wait, collect it for Waitall, or Reclaim it)"
+		},
+	})
+	return nil
+}

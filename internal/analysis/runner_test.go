@@ -1,0 +1,91 @@
+package analysis
+
+// This file is the suite's analysistest-style runner: testdata packages
+// carry `// want "pattern"` (or backquoted) comments on the lines where
+// findings are expected, are loaded with LoadDir under a caller-chosen
+// import path (so path-gated analyzers like detsumcheck can be pointed
+// at a guarded or an unguarded path), and the produced diagnostics are
+// matched 1:1 against the expectations.
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts double-quoted (Go-unquoted) and backquoted (raw)
+// patterns from a want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	pattern string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runTestdata loads testdata/<dir> as importPath, runs the analyzers,
+// and checks findings against the package's want comments.
+func runTestdata(t *testing.T, dir, importPath string, analyzers []*Analyzer) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", dir), importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, raw := range wantRe.FindAllString(text[len("want "):], -1) {
+					pat := raw[1 : len(raw)-1]
+					if raw[0] == '"' {
+						uq, err := strconv.Unquote(raw)
+						if err != nil {
+							t.Fatalf("%s: unquoting want pattern %s: %v", key, raw, err)
+						}
+						pat = uq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{pattern: pat, re: re})
+				}
+			}
+		}
+	}
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		msg := fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+		found := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(msg) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", key, msg)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected a finding matching %q, got none", key, w.pattern)
+			}
+		}
+	}
+}

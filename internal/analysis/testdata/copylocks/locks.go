@@ -1,0 +1,40 @@
+// Package cl exercises the bundled copylocks pass.
+package cl
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `copies lock value`
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func deref(p *guarded) {
+	g := *p // want `copies lock value`
+	_ = g
+}
+
+func rangeCopy(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want `copies lock value`
+		n += g.n
+	}
+	return n
+}
+
+func rangeByIndex(gs []guarded) int {
+	n := 0
+	for i := range gs {
+		n += gs[i].n
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+// Package h exercises hotpathalloc: allocating constructs are
+// forbidden inside functions annotated //gpaw:hotpath and fine
+// everywhere else.
+package h
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//gpaw:hotpath
+func hotBad(n int, sink []float64) []float64 {
+	buf := make([]float64, n) // want `make in //gpaw:hotpath`
+	buf = append(buf, 1)      // want `append`
+	p := new(point)           // want `new in //gpaw:hotpath`
+	_ = p
+	sl := []int{1, 2} // want `slice literal`
+	_ = sl
+	m := map[string]int{} // want `map literal`
+	_ = m
+	q := &point{x: 1} // want `heap-escaping &composite literal`
+	_ = q
+	fmt.Println(n)    // want `fmt call`
+	bs := []byte("x") // want `allocating string conversion`
+	_ = bs
+	go spin()                    // want `goroutine launch`
+	f := func() int { return n } // want `variable-capturing closure`
+	_ = f
+	_ = buf
+	return sink
+}
+
+func spin() {}
+
+//gpaw:hotpath
+func hotGood(buf []float64, v float64) float64 {
+	s := 0.0
+	for i := range buf {
+		s += buf[i]
+	}
+	g := func() {} // non-capturing: a static func value, no allocation
+	g()
+	return s + v
+}
+
+// cold is unannotated: the same constructs are fine outside hot paths.
+func cold(n int) []float64 {
+	buf := make([]float64, n)
+	return append(buf, float64(n))
+}
+
+//gpaw:hotpath
+func hotJustified(pool [][]float64, x []float64) [][]float64 {
+	//lint:ignore hotpathalloc pooled append: capacity is warm in steady state
+	return append(pool, x)
+}

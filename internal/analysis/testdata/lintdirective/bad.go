@@ -1,0 +1,12 @@
+// Package ld holds a malformed suppression directive: a lint:ignore
+// without a justification must itself be reported.
+package ld
+
+func fold(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		//lint:ignore detsumcheck
+		s += x
+	}
+	return s
+}

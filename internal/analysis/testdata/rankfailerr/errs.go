@@ -1,0 +1,44 @@
+// Package rf exercises rankfailerr: rank-failure errors must be
+// inspected through the typed API, never by matching the message text.
+package rf
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+func badEqual(err error) bool {
+	return err.Error() == "mpi: rank 3 failed" // want `must be inspected with mpi.AsRankFailure`
+}
+
+func badNotEqual(err error) bool {
+	return "rank 2 died" != err.Error() // want `must be inspected with mpi.AsRankFailure`
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "rank failed") // want `must be inspected with mpi.AsRankFailure`
+}
+
+func badPrefix(err error) bool {
+	return strings.HasPrefix(err.Error(), "mpi: dead rank") // want `must be inspected with mpi.AsRankFailure`
+}
+
+func goodTyped(p any) bool {
+	_, ok := mpi.AsRankFailure(p)
+	return ok
+}
+
+func goodErrorsAs(err error) bool {
+	var rf *mpi.ErrRankFailed
+	return errors.As(err, &rf)
+}
+
+func goodUnrelatedText(err error) bool {
+	return err.Error() == "file not found"
+}
+
+func goodNotErrorText(s string) bool {
+	return strings.Contains(s, "rank failed")
+}

@@ -1,0 +1,84 @@
+// Package rl exercises requestleak: every Isend/Irecv request must
+// reach Wait/Waitall/Testall/Reclaim on all control-flow paths.
+package rl
+
+import "repro/internal/mpi"
+
+func okWait(c *mpi.Comm, buf, data []float64) {
+	req := c.Irecv(0, 1, buf)
+	c.Send(0, 1, data)
+	req.Wait()
+}
+
+func okReclaimed(c *mpi.Comm, buf, data []float64) {
+	req := c.Irecv(0, 1, buf)
+	c.Send(0, 1, data)
+	req.Wait()
+	mpi.Reclaim(req)
+}
+
+func okSliceWaitall(c *mpi.Comm, bufs [][]float64) {
+	var reqs []*mpi.Request
+	for i := range bufs {
+		reqs = append(reqs, c.Irecv(i, 1, bufs[i]))
+	}
+	mpi.Waitall(reqs...)
+}
+
+func okRangeWait(c *mpi.Comm, bufs [][]float64) {
+	var reqs []*mpi.Request
+	for i := range bufs {
+		reqs = append(reqs, c.Irecv(i, 1, bufs[i]))
+	}
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+func okReturned(c *mpi.Comm, buf []float64) *mpi.Request {
+	return c.Irecv(0, 1, buf)
+}
+
+type exchange struct{ req *mpi.Request }
+
+func okStoredInField(c *mpi.Comm, e *exchange, buf []float64) {
+	e.req = c.Irecv(0, 1, buf)
+}
+
+func okHandoff(c *mpi.Comm, buf []float64) {
+	req := c.Irecv(0, 1, buf)
+	collect(req)
+}
+
+func collect(r *mpi.Request) { _ = r }
+
+func dropped(c *mpi.Comm, data []float64) {
+	c.Isend(1, 2, data) // want `Isend request is discarded`
+}
+
+func blanked(c *mpi.Comm, data []float64) {
+	_ = c.Isend(1, 2, data) // want `Isend request is discarded`
+}
+
+func leakOnEarlyReturn(c *mpi.Comm, buf []float64, cond bool) {
+	req := c.Irecv(0, 1, buf) // want `may not reach Wait/Waitall/Testall/Reclaim`
+	if cond {
+		return
+	}
+	req.Wait()
+}
+
+func leakPerIteration(c *mpi.Comm, bufs [][]float64) {
+	for i := range bufs {
+		req := c.Irecv(i, 1, bufs[i]) // want `may not reach Wait/Waitall/Testall/Reclaim`
+		_ = req
+	}
+}
+
+func leakForgottenSlice(c *mpi.Comm, bufs [][]float64) {
+	var reqs []*mpi.Request
+	for i := range bufs {
+		reqs = append(reqs, c.Irecv(i, 1, bufs[i])) // want `may not reach Wait/Waitall/Testall/Reclaim`
+	}
+	_ = reqs
+}

@@ -1,0 +1,65 @@
+// Package seeded holds deliberately broken copies of real solver code.
+// The regression tests load it under a guarded import path and assert
+// that every analyzer catches its seed — proving the suite would stop
+// each of these defects if it were introduced into the live tree.
+package seeded
+
+import (
+	"errors"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// kineticBoundSeed is gpaw.kineticBound with the fixed-order
+// justification stripped: a raw += reduction in a guarded package.
+func kineticBoundSeed(coefs []float64) float64 {
+	bound := 0.0
+	for _, c := range coefs {
+		bound += abs(c) // want `\[detsumcheck\] raw floating-point accumulation`
+	}
+	return bound
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// postFacesSeed is core's postDim shape with the Waitall dropped: the
+// posted receives leak.
+func postFacesSeed(c *mpi.Comm, nbrs []int, recv [][]float64) {
+	var reqs []*mpi.Request
+	for i, nbr := range nbrs {
+		reqs = append(reqs, c.Irecv(nbr, 7, recv[i])) // want `\[requestleak\]`
+	}
+	_ = reqs // BROKEN: the real code calls mpi.Waitall(reqs...)
+}
+
+var errEmptyBatch = errors.New("empty batch")
+
+// applySeed is the traced solver-apply shape with the error path
+// forgetting to End its span.
+func applySeed(rk *trace.Rank, n int) error {
+	sp := rk.Region("gpaw.apply") // want `\[tracepair\]`
+	if n == 0 {
+		return errEmptyBatch
+	}
+	sp.End()
+	return nil
+}
+
+// exchangeSeed is the hot halo-exchange entry with a fresh buffer
+// allocation smuggled in.
+//
+//gpaw:hotpath
+func exchangeSeed(n int) []float64 {
+	return make([]float64, n) // want `\[hotpathalloc\]`
+}
+
+// recoverSeed matches the failure message instead of the typed error.
+func recoverSeed(err error) bool {
+	return err.Error() == "mpi: rank 3 failed" // want `\[rankfailerr\]`
+}

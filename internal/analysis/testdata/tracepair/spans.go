@@ -1,0 +1,97 @@
+// Package tp exercises tracepair: every opened span must End on all
+// return paths, and span names must be compile-time constants.
+package tp
+
+import "repro/internal/trace"
+
+const csName = "pblas.fold"
+
+func okDefer(rk *trace.Rank) {
+	defer rk.Region("compute").End()
+	work()
+}
+
+func okExplicit(rk *trace.Rank) {
+	sp := rk.Begin("step", trace.KindRegion)
+	work()
+	sp.End()
+}
+
+func okConstName(rk *trace.Rank) {
+	defer rk.Region(csName).End()
+}
+
+func okEndComm(rk *trace.Rank) {
+	sp := rk.BeginComm("mpi.wait", trace.KindWait, -1, -1, 0)
+	sp.EndComm(3, 7, 1024)
+}
+
+func okReturned(rk *trace.Rank) trace.Span {
+	return rk.Region("handed-off")
+}
+
+type holder struct{ sp trace.Span }
+
+func okStored(rk *trace.Rank) *holder {
+	h := &holder{sp: rk.Region("held")}
+	return h
+}
+
+func leakOnEarlyReturn(rk *trace.Rank, cond bool) {
+	sp := rk.Region("maybe") // want `not Ended on every return path`
+	if cond {
+		return
+	}
+	sp.End()
+}
+
+func leakBeforeDeferRegistered(rk *trace.Rank, cond bool) {
+	sp := rk.Region("late-defer") // want `not Ended on every return path`
+	if cond {
+		return // the defer below has not executed yet: this path leaks
+	}
+	defer sp.End()
+	work()
+}
+
+func leakInSwitch(rk *trace.Rank, n int) {
+	sp := rk.Region("switch") // want `not Ended on every return path`
+	switch n {
+	case 0:
+		sp.End()
+	default:
+	}
+}
+
+func dropped(rk *trace.Rank) {
+	rk.Region("dropped") // want `opened and immediately discarded`
+}
+
+func dynamicName(rk *trace.Rank, name string) {
+	sp := rk.Region(name) // want `span name must be a compile-time string constant`
+	sp.End()
+}
+
+func dynamicMark(rk *trace.Rank, name string) {
+	rk.Mark(name, -1, -1, 0) // want `span name must be a compile-time string constant`
+}
+
+// region is the forwarder shape pblas uses. Because it returns a
+// trace.Span its own call sites are held to the span contract, and the
+// dynamic name inside is its own finding (the live forwarder carries a
+// lint:ignore with a justification).
+func region(rk *trace.Rank, name string) trace.Span {
+	return rk.Region(name) // want `span name must be a compile-time string constant`
+}
+
+func forwarderDropped(rk *trace.Rank) {
+	region(rk, "fwd") // want `opened and immediately discarded`
+}
+
+func forwarderPaired(rk *trace.Rank) {
+	sp := region(rk, "fwd2")
+	work()
+	sp.End()
+}
+
+func work() {}

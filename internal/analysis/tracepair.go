@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strconv"
+)
+
+// TracePair enforces the tracing contract from PR 8: every span
+// opened with Begin/BeginComm/Region must be closed with End/EndComm
+// on every control-flow path (directly or via defer), and span names
+// must be compile-time string constants — dynamic names would
+// allocate on the zero-alloc emission path and defeat profile
+// aggregation by name.
+var TracePair = &Analyzer{
+	Name: "tracepair",
+	Doc: "every trace span Begin must have an End on all return paths, " +
+		"and span names must be static string constants",
+	Run: runTracePair,
+}
+
+// spanOpeners are the *trace.Rank methods that return an open Span.
+var spanOpeners = map[string]bool{"Begin": true, "BeginComm": true, "Region": true}
+
+// spanNamed are the methods whose first argument is a span/mark name
+// that must be constant.
+var spanNamed = map[string]bool{"Begin": true, "BeginComm": true, "Region": true, "Mark": true}
+
+func runTracePair(pass *Pass) error {
+	if pass.Pkg.Name() == "trace" {
+		// The recorder itself forwards names and constructs spans; the
+		// contract binds its callers.
+		return nil
+	}
+
+	// Static-name rule: every call that opens a span (the trace.Rank
+	// methods AND any repo-local forwarder returning a trace.Span,
+	// like pblas' region helper) plus Mark must take a compile-time
+	// constant name as its first string argument.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			named := false
+			if obj := calleeObj(pass.TypesInfo, call); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Name() == "trace" && spanNamed[obj.Name()] {
+				named = true
+			} else if opensSpan(pass, call) && isStringExpr(pass.TypesInfo, call.Args[0]) {
+				named = true
+			}
+			if named && !isConstString(pass.TypesInfo, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"span name must be a compile-time string constant (zero-allocation tracing contract); dynamic names also defeat profile aggregation")
+			}
+			return true
+		})
+	}
+
+	// Pairing rule: flow-track every opened span to an End.
+	runFlow(pass, &obSpec{
+		isSource: func(p *Pass, call *ast.CallExpr) (string, bool) {
+			if !opensSpan(p, call) {
+				return "", false
+			}
+			name := "span"
+			if len(call.Args) > 0 {
+				if tv, ok := p.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					name = "span " + strconv.Quote(constant.StringVal(tv.Value))
+				}
+			}
+			return name, true
+		},
+		isCloserMethod: func(p *Pass, call *ast.CallExpr) bool {
+			obj := calleeObj(p.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "trace" {
+				return false
+			}
+			if obj.Name() != "End" && obj.Name() != "EndComm" {
+				return false
+			}
+			recv := methodRecv(call)
+			return recv != nil && isNamedType(p.TypesInfo.Types[recv].Type, "trace", "Span")
+		},
+		leakMsg: func(desc string) string {
+			return desc + " is not Ended on every return path; close it with defer " +
+				"or End it before each return (unmatched spans corrupt the per-rank timeline)"
+		},
+		dropMsg: func(desc string) string {
+			return desc + " is opened and immediately discarded without End"
+		},
+	})
+	return nil
+}

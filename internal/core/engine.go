@@ -324,6 +324,8 @@ func faceTag(tagBase, bi, dim int, side grid.Side) int {
 
 // startExchange packs the batch's surface points and posts the receives
 // and sends for every dimension at once. Used by the async protocols.
+//
+//gpaw:hotpath
 func (e *Engine) startExchange(st *exchangeState, src []*grid.Grid, tagBase, bi int) {
 	sp := e.cart.TraceRank().Begin("halo.post", trace.KindExchange)
 	st.reqs = st.reqs[:0]
@@ -335,15 +337,19 @@ func (e *Engine) startExchange(st *exchangeState, src []*grid.Grid, tagBase, bi 
 }
 
 // postDim posts the receives and sends of one dimension for the batch.
+//
+//gpaw:hotpath
 func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim int) {
 	faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
 	n := st.b.Size() * faceLen
-	for _, side := range []grid.Side{grid.Low, grid.High} {
+	for _, side := range [...]grid.Side{grid.Low, grid.High} {
 		if e.nbr[dim][side] == mpi.ProcNull {
 			continue
 		}
 		if cap(st.recv[dim][side]) < n {
+			//lint:ignore hotpathalloc grow-on-first-use face buffers; the cap check above keeps the repeating steady-state exchange allocation-free
 			st.recv[dim][side] = make([]float64, n)
+			//lint:ignore hotpathalloc same first-use growth as the receive buffer above
 			st.send[dim][side] = make([]float64, n)
 		}
 		st.recv[dim][side] = st.recv[dim][side][:n]
@@ -351,9 +357,10 @@ func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim i
 		// Post the receive for my (dim, side) halo first so an eager
 		// send (including a self-send when the dimension is undivided)
 		// finds it waiting.
+		//lint:ignore hotpathalloc request list of the recycled exchangeState, reset to [:0] each exchange — capacity is warm in steady state
 		st.reqs = append(st.reqs, e.cart.Irecv(e.nbr[dim][side], faceTag(tagBase, bi, dim, side), st.recv[dim][side]))
 	}
-	for _, side := range []grid.Side{grid.Low, grid.High} {
+	for _, side := range [...]grid.Side{grid.Low, grid.High} {
 		if e.nbr[dim][side] == mpi.ProcNull {
 			continue
 		}
@@ -375,6 +382,8 @@ func (e *Engine) postDim(st *exchangeState, src []*grid.Grid, tagBase, bi, dim i
 // finishExchange waits for the batch's transfers and installs received
 // surface points into the grids' halos. Completed receive requests are
 // reclaimed into the world pool for reuse by the next batch.
+//
+//gpaw:hotpath
 func (e *Engine) finishExchange(st *exchangeState, src []*grid.Grid) {
 	rk := e.cart.TraceRank()
 	t0 := e.NowNs()
@@ -397,10 +406,12 @@ func (e *Engine) finishExchange(st *exchangeState, src []*grid.Grid) {
 }
 
 // unpack copies every received face buffer into the halos of the batch.
+//
+//gpaw:hotpath
 func (e *Engine) unpack(st *exchangeState, src []*grid.Grid) {
 	for dim := 0; dim < 3; dim++ {
 		faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
-		for _, side := range []grid.Side{grid.Low, grid.High} {
+		for _, side := range [...]grid.Side{grid.Low, grid.High} {
 			if e.nbr[dim][side] == mpi.ProcNull {
 				// Dirichlet boundary: halos were zeroed at allocation and
 				// stay zero.
@@ -438,7 +449,7 @@ func (e *Engine) exchangeSerialized(st *exchangeState, src []*grid.Grid, tagBase
 		// Install this dimension's halos before the next dimension runs
 		// (the serialized pattern's defining property).
 		faceLen := src[st.b.Lo].FaceLen(dim, e.op.R)
-		for _, side := range []grid.Side{grid.Low, grid.High} {
+		for _, side := range [...]grid.Side{grid.Low, grid.High} {
 			if e.nbr[dim][side] == mpi.ProcNull {
 				continue
 			}
@@ -667,6 +678,8 @@ func (e *Engine) RunBatchesHybridMultiple(src []*grid.Grid, compute func(b Batch
 // dimensions) using the engine's configured protocol, without any
 // computation. Corner halos are not filled — the axis-aligned stencils
 // never read them, matching GPAW.
+//
+//gpaw:hotpath
 func (e *Engine) Exchange(grids []*grid.Grid) {
 	e.RunBatches(grids, func(Batch) {})
 }
@@ -699,6 +712,8 @@ type InFlightExchange struct {
 
 // getInflight pops a pooled handle or allocates one, so the
 // start/finish pair is allocation-free in steady state.
+//
+//gpaw:hotpath
 func (e *Engine) getInflight() *InFlightExchange {
 	e.scratchMu.Lock()
 	if n := len(e.inflightFree); n > 0 {
@@ -711,6 +726,7 @@ func (e *Engine) getInflight() *InFlightExchange {
 		return h
 	}
 	e.scratchMu.Unlock()
+	//lint:ignore hotpathalloc pool miss: only the first few exchanges allocate a handle; steady state always pops one above
 	return &InFlightExchange{e: e}
 }
 
@@ -725,8 +741,11 @@ func (e *Engine) getInflight() *InFlightExchange {
 // The caller keeps ownership of the grids slice; the handle copies it.
 // Between Start and Finish the grids' interiors may be read and other
 // grids written, but the exchanged grids' halos are undefined.
+//
+//gpaw:hotpath
 func (e *Engine) StartExchange(grids []*grid.Grid) *InFlightExchange {
 	h := e.getInflight()
+	//lint:ignore hotpathalloc append into the pooled handle's recycled slice — capacity is warm after the first exchange of this batch size
 	h.grids = append(h.grids[:0], grids...)
 	h.st.b = Batch{0, len(grids)}
 	if len(grids) == 0 {
@@ -745,6 +764,8 @@ func (e *Engine) StartExchange(grids []*grid.Grid) *InFlightExchange {
 // Finish completes the exchange: waits for all transfers, installs the
 // received surface points into the grids' halos and recycles the
 // handle. Finishing a handle twice panics.
+//
+//gpaw:hotpath
 func (h *InFlightExchange) Finish() {
 	if h.released {
 		panic("core: InFlightExchange finished twice")
@@ -760,6 +781,7 @@ func (h *InFlightExchange) Finish() {
 	h.grids = h.grids[:0]
 	e := h.e
 	e.scratchMu.Lock()
+	//lint:ignore hotpathalloc append into the handle free pool; capacity is warm after the first start/finish cycle
 	e.inflightFree = append(e.inflightFree, h)
 	e.scratchMu.Unlock()
 }
@@ -772,6 +794,8 @@ func (h *InFlightExchange) Test() bool {
 
 // FinishExchange is Finish as an engine method, for symmetry with
 // StartExchange.
+//
+//gpaw:hotpath
 func (e *Engine) FinishExchange(h *InFlightExchange) { h.Finish() }
 
 // RunBatchesSplit executes the engine's configured exchange protocol

@@ -142,10 +142,10 @@ func TestIntersectBox(t *testing.T) {
 // halo) tuples through the A -> B -> A round trip; the seed corpus in
 // testdata/fuzz pins the degenerate shapes above plus asymmetric mixes.
 func FuzzRedistributeRoundTrip(f *testing.F) {
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})       // 4^3, 1x1x1 -> 1x1x1
-	f.Add([]byte{4, 4, 4, 1, 1, 1, 0, 0, 0, 1})       // 8^3, 2x2x2 -> 1x1x1
-	f.Add([]byte{4, 0, 0, 3, 0, 0, 1, 0, 0, 0})       // same-axis 4-way -> 2-way
-	f.Add([]byte{5, 3, 8, 0, 1, 2, 2, 0, 1, 2})       // asymmetric mix
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // 4^3, 1x1x1 -> 1x1x1
+	f.Add([]byte{4, 4, 4, 1, 1, 1, 0, 0, 0, 1}) // 8^3, 2x2x2 -> 1x1x1
+	f.Add([]byte{4, 0, 0, 3, 0, 0, 1, 0, 0, 0}) // same-axis 4-way -> 2-way
+	f.Add([]byte{5, 3, 8, 0, 1, 2, 2, 0, 1, 2}) // asymmetric mix
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 10 {
 			return

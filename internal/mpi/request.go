@@ -62,6 +62,8 @@ func newRequest() *Request {
 // getRequest pops a reusable request from the world's free pool, or
 // allocates one. The returned request is reset and exclusively owned by
 // the caller.
+//
+//gpaw:hotpath
 func (w *World) getRequest() *Request {
 	w.reqMu.Lock()
 	if n := len(w.reqFree); n > 0 {
@@ -79,6 +81,8 @@ func (w *World) getRequest() *Request {
 }
 
 // reset prepares a pooled request for reuse.
+//
+//gpaw:hotpath
 func (r *Request) reset() {
 	r.mu.Lock()
 	r.done = false
@@ -98,6 +102,8 @@ func (r *Request) reset() {
 // object out again. Nil entries are ignored. Reclaiming is optional
 // (unreclaimed requests are simply garbage collected); hot exchange
 // loops use it to stay allocation-free in steady state.
+//
+//gpaw:hotpath
 func Reclaim(reqs ...*Request) {
 	for _, r := range reqs {
 		if r == nil || r.w == nil {
@@ -106,6 +112,7 @@ func Reclaim(reqs ...*Request) {
 		r.buf = nil // do not retain the receive buffer past reclaim
 		w := r.w
 		w.reqMu.Lock()
+		//lint:ignore hotpathalloc append into the world free pool; capacity is warm after the first reclaim cycle
 		w.reqFree = append(w.reqFree, r)
 		w.reqMu.Unlock()
 	}
@@ -140,6 +147,8 @@ func (r *Request) completeErr(src, tag, n int, err error) {
 // the operation timeout counts only genuine wall time: paced modeled
 // delay served anywhere in the world extends the deadline, so a slow
 // modeled network can never masquerade as a deadlock.
+//
+//gpaw:hotpath
 func (r *Request) Wait() (src, tag, n int) {
 	// Traced waits become timeline spans whose virtual duration covers
 	// the clock jump to the message's modeled arrival; the peer, tag
@@ -155,6 +164,7 @@ func (r *Request) Wait() (src, tag, n int) {
 	return r.wait()
 }
 
+//gpaw:hotpath
 func (r *Request) wait() (src, tag, n int) {
 	// Wait is an MPI-call boundary of its own (engine code calls it on
 	// standalone requests, outside any Comm entry point), so it does its
@@ -188,6 +198,7 @@ func (r *Request) wait() (src, tag, n int) {
 						start, paced0 = now, wld.pacedNs.Load()
 						continue
 					}
+					//lint:ignore hotpathalloc deadlock-diagnostic path: allocating the error as the world dies is fine
 					te := &TimeoutError{After: to, Rank: r.owner, Peer: r.prSrc, Tag: r.prTag}
 					r.mu.Unlock()
 					te.Pending = wld.PendingOps()
@@ -195,6 +206,7 @@ func (r *Request) wait() (src, tag, n int) {
 				}
 				// The timer only wakes the waiter so the deadline check
 				// runs; the request itself stays pending.
+				//lint:ignore hotpathalloc watchdog timer exists only when an op timeout is configured (debugging runs), never in the guarded steady state
 				timer := time.AfterFunc(deadline.Sub(now), func() {
 					r.mu.Lock()
 					r.cond.Broadcast()
@@ -230,6 +242,8 @@ func (r *Request) wait() (src, tag, n int) {
 // once the clock has already caught up with the message's modeled
 // arrival — the eager transport's early physical delivery is never
 // mistaken for modeled arrival).
+//
+//gpaw:hotpath
 func (r *Request) Test() bool {
 	var w *World
 	var owner int
@@ -258,6 +272,8 @@ func (r *Request) Test() bool {
 // Waitall blocks until every request completes. Nil entries are
 // ignored, matching MPI_REQUEST_NULL. The variadic form spreads over a
 // request slice: Waitall(reqs...).
+//
+//gpaw:hotpath
 func Waitall(reqs ...*Request) {
 	for _, r := range reqs {
 		if r != nil {
@@ -268,6 +284,8 @@ func Waitall(reqs ...*Request) {
 
 // Testall reports whether every request has completed, without
 // blocking. Nil entries are ignored.
+//
+//gpaw:hotpath
 func Testall(reqs ...*Request) bool {
 	for _, r := range reqs {
 		if r != nil && !r.Test() {

@@ -188,6 +188,7 @@ func (op *Operator) SORSweepPlanes(phi, rhs *grid.Grid, omega float64, i0, i1 in
 				s := prow + k
 				v := diag * in[s]
 				for _, tp := range taps {
+					//lint:ignore detsumcheck rank-local stencil application in fixed tap order; this exact rounding sequence IS the bit-identity contract
 					v += tp.c * in[s+tp.off]
 				}
 				res := bd[brow+k] - v

@@ -155,6 +155,7 @@ func stencilRow(out, in []float64, s0, n int, center float64, taps []tap) {
 			s := s0 + k
 			v := center * in[s]
 			for _, tp := range taps {
+				//lint:ignore detsumcheck rank-local stencil application in fixed tap order; this exact rounding sequence IS the bit-identity contract
 				v += tp.c * in[s+tp.off]
 			}
 			out[k] = v

@@ -219,6 +219,8 @@ func (t *Tracer) Reset() {
 }
 
 // push appends an event to the ring, overwriting the oldest when full.
+//
+//gpaw:hotpath
 func (r *Rank) push(e Event) {
 	r.mu.Lock()
 	if r.n < len(r.ev) {
@@ -246,6 +248,8 @@ type Span struct {
 }
 
 // Begin opens a span of the given kind. Use Region for compute phases.
+//
+//gpaw:hotpath
 func (r *Rank) Begin(name string, kind Kind) Span {
 	if r == nil || !r.t.on.Load() {
 		return Span{}
@@ -256,6 +260,8 @@ func (r *Rank) Begin(name string, kind Kind) Span {
 
 // BeginComm opens a span annotated with a peer world rank, tag and
 // payload size — the shape MPI sends, waits and collectives use.
+//
+//gpaw:hotpath
 func (r *Rank) BeginComm(name string, kind Kind, peer, tag int, bytes int64) Span {
 	s := r.Begin(name, kind)
 	if s.rk != nil {
@@ -267,14 +273,20 @@ func (r *Rank) BeginComm(name string, kind Kind, peer, tag int, bytes int64) Spa
 // Region opens a nested compute region:
 //
 //	defer rk.Region("poisson.cg").End()
+//
+//gpaw:hotpath
 func (r *Rank) Region(name string) Span { return r.Begin(name, KindRegion) }
 
 // End closes the span and records it.
+//
+//gpaw:hotpath
 func (s Span) End() { s.EndComm(s.peer, s.tag, s.bytes) }
 
 // EndComm closes the span, overriding its comm annotations — for
 // operations whose peer or size is only known at completion (wildcard
 // receives).
+//
+//gpaw:hotpath
 func (s Span) EndComm(peer, tag int, bytes int64) {
 	if s.rk == nil {
 		return
@@ -289,6 +301,8 @@ func (s Span) EndComm(peer, tag int, bytes int64) {
 }
 
 // Mark records an instantaneous event (fault, checkpoint, recovery).
+//
+//gpaw:hotpath
 func (r *Rank) Mark(name string, peer, tag int, bytes int64) {
 	if r == nil || !r.t.on.Load() {
 		return
@@ -302,6 +316,8 @@ func (r *Rank) Mark(name string, peer, tag int, bytes int64) {
 // the rank computed) and visible (blocked in the finishing wait)
 // nanoseconds; the ratio hidden/(hidden+visible) is the profile's
 // overlap efficiency.
+//
+//gpaw:hotpath
 func (r *Rank) AddWait(hidden, visible int64) {
 	if r == nil {
 		return
@@ -317,6 +333,8 @@ func (r *Rank) AddWait(hidden, visible int64) {
 // AddSplit accumulates split-phase compute time: deep-interior work
 // done while the halo was in flight, and boundary-shell work done
 // after it landed.
+//
+//gpaw:hotpath
 func (r *Rank) AddSplit(interior, shell int64) {
 	if r == nil {
 		return
