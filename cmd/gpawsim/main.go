@@ -8,8 +8,10 @@
 //
 // Experiments: table1, fig2, fig5a (no batching), fig5b (batch 8), fig6,
 // fig7, headline, ablations, dist, bands, faults (rank-failure
-// injection + shrink-to-survivors recovery), netmodel (calibrated
-// transport at 64..4096 simulated ranks x rank placements), all.
+// injection + shrink-to-survivors recovery), chaosnet (lossy transport
+// healed by reliable delivery + silent-data-corruption rollback),
+// netmodel (calibrated transport at 64..4096 simulated ranks x rank
+// placements), all.
 //
 // -netmodel arms the calibrated network model on the live-runtime dist
 // experiment (deterministic virtual makespans instead of wall time);
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, faults, netmodel, all")
+		"comma-separated list: table1, fig2, fig5a, fig5b, fig6, fig7, headline, ablations, dist, bands, faults, chaosnet, netmodel, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
 	netmodel := flag.Bool("netmodel", false,
 		"arm the calibrated network model on the live-runtime experiments (dist)")
@@ -66,6 +68,7 @@ func main() {
 		"dist":     func() []*bench.Experiment { return []*bench.Experiment{bench.DistSolvers(opts)} },
 		"bands":    func() []*bench.Experiment { return []*bench.Experiment{bench.BandSolvers(opts)} },
 		"faults":   func() []*bench.Experiment { return []*bench.Experiment{bench.Faults(opts)} },
+		"chaosnet": func() []*bench.Experiment { return []*bench.Experiment{bench.ChaosNet(opts)} },
 		"netmodel": func() []*bench.Experiment { return []*bench.Experiment{bench.NetScaling(opts)} },
 		"ablations": func() []*bench.Experiment {
 			return []*bench.Experiment{
@@ -80,7 +83,7 @@ func main() {
 			}
 		},
 	}
-	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands", "faults", "netmodel"}
+	order := []string{"table1", "fig2", "fig5a", "fig5b", "fig6", "fig7", "headline", "ablations", "dist", "bands", "faults", "chaosnet", "netmodel"}
 
 	var selected []string
 	if *experiment == "all" {

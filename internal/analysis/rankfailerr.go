@@ -6,19 +6,22 @@ import (
 	"strings"
 )
 
-// RankFailErr enforces typed inspection of rank-failure errors. The
-// fault-tolerant runtime (PR 6) surfaces rank death as a typed
-// *mpi.ErrRankFailed and provides mpi.AsRankFailure for recovery
-// paths; matching on the rendered error string instead couples
-// recovery to the message text (which carries rank numbers, epochs
-// and op details that change freely) and silently stops matching on
-// the next wording change. This pass flags string comparisons and
-// strings.* matching applied to an error's Error() text when the
-// pattern mentions rank failure.
+// RankFailErr enforces typed inspection of the mpi runtime's failure
+// errors. The fault-tolerant runtime (PR 6) surfaces rank death as a
+// typed *mpi.ErrRankFailed (inspect with mpi.AsRankFailure), the lossy
+// transport surfaces exhausted retry budgets as *mpi.ErrDeliveryFailed
+// (mpi.AsDeliveryFailure) and the operation timeout as *mpi.TimeoutError
+// — all carrying rank numbers, tags, attempt counts and op details in
+// their rendered text that change freely. Matching on that text couples
+// recovery to the wording and silently stops matching on the next
+// change. This pass flags string comparisons and strings.* matching
+// applied to an error's Error() text when the pattern targets any of
+// the three failure families.
 var RankFailErr = &Analyzer{
 	Name: "rankfailerr",
-	Doc: "rank-failure errors must be inspected with mpi.AsRankFailure or " +
-		"errors.As/Is typed checks, never by matching the error string",
+	Doc: "mpi failure errors (rank failure, delivery failure, timeout) must be " +
+		"inspected with their typed APIs (mpi.AsRankFailure, mpi.AsDeliveryFailure, " +
+		"errors.As), never by matching the error string",
 	Run: runRankFailErr,
 }
 
@@ -28,6 +31,24 @@ func rankFailLiteral(s string) bool {
 	ls := strings.ToLower(s)
 	return strings.Contains(ls, "rank") && (strings.Contains(ls, "fail") || strings.Contains(ls, "die") || strings.Contains(ls, "dead")) ||
 		strings.Contains(ls, "rank failed") || strings.Contains(ls, "failed rank")
+}
+
+// deliveryLiteral reports whether a matched pattern looks like it
+// targets the reliability sublayer's delivery-failure text
+// ("mpi: delivery from rank X to rank Y tag T failed after N attempts").
+func deliveryLiteral(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "delivery") && (strings.Contains(ls, "fail") || strings.Contains(ls, "attempt")) ||
+		strings.Contains(ls, "failed after") && strings.Contains(ls, "attempt")
+}
+
+// timeoutLiteral reports whether a matched pattern looks like it
+// targets the operation timeout's text ("mpi: rank X blocked longer
+// than D waiting for ...").
+func timeoutLiteral(s string) bool {
+	ls := strings.ToLower(s)
+	return strings.Contains(ls, "timed out") || strings.Contains(ls, "timeout") ||
+		strings.Contains(ls, "blocked longer than")
 }
 
 // stringsMatchers are the strings-package predicates used for ad-hoc
@@ -43,10 +64,26 @@ func runRankFailErr(pass *Pass) error {
 		return nil
 	}
 	info := pass.TypesInfo
-	report := func(pos token.Pos) {
-		pass.Reportf(pos, "rank-failure errors must be inspected with mpi.AsRankFailure "+
-			"(or errors.As against *mpi.ErrRankFailed), not by matching the error text; "+
-			"the message wording is not part of the failure contract")
+	report := func(pos token.Pos, lit string) {
+		switch {
+		// Delivery first: its rendered text mentions ranks and failure
+		// too, but names the more specific typed API.
+		case deliveryLiteral(lit):
+			pass.Reportf(pos, "delivery failures must be inspected with mpi.AsDeliveryFailure "+
+				"(or errors.As against *mpi.ErrDeliveryFailed), not by matching the error text; "+
+				"the message wording is not part of the failure contract")
+		case rankFailLiteral(lit):
+			pass.Reportf(pos, "rank-failure errors must be inspected with mpi.AsRankFailure "+
+				"(or errors.As against *mpi.ErrRankFailed), not by matching the error text; "+
+				"the message wording is not part of the failure contract")
+		default:
+			pass.Reportf(pos, "operation timeouts must be inspected with errors.As against "+
+				"*mpi.TimeoutError, not by matching the error text; "+
+				"the message wording is not part of the failure contract")
+		}
+	}
+	failureLiteral := func(s string) bool {
+		return rankFailLiteral(s) || deliveryLiteral(s) || timeoutLiteral(s)
 	}
 	constStr := func(e ast.Expr) (string, bool) {
 		tv, ok := info.Types[e]
@@ -86,8 +123,8 @@ func runRankFailErr(pass *Pass) error {
 				}
 				for _, pair := range [][2]ast.Expr{{v.X, v.Y}, {v.Y, v.X}} {
 					if isErrorText(pair[0]) {
-						if s, ok := constStr(pair[1]); ok && rankFailLiteral(s) {
-							report(v.Pos())
+						if s, ok := constStr(pair[1]); ok && failureLiteral(s) {
+							report(v.Pos(), s)
 						}
 					}
 				}
@@ -96,17 +133,17 @@ func runRankFailErr(pass *Pass) error {
 				if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "strings" || !stringsMatchers[obj.Name()] {
 					return true
 				}
-				hasErrText, hasRankLit := false, false
+				hasErrText, lit := false, ""
 				for _, a := range v.Args {
 					if isErrorText(a) {
 						hasErrText = true
 					}
-					if s, ok := constStr(a); ok && rankFailLiteral(s) {
-						hasRankLit = true
+					if s, ok := constStr(a); ok && failureLiteral(s) {
+						lit = s
 					}
 				}
-				if hasErrText && hasRankLit {
-					report(v.Pos())
+				if hasErrText && lit != "" {
+					report(v.Pos(), lit)
 				}
 			}
 			return true

@@ -25,6 +25,37 @@ func badPrefix(err error) bool {
 	return strings.HasPrefix(err.Error(), "mpi: dead rank") // want `must be inspected with mpi.AsRankFailure`
 }
 
+func badDeliveryEqual(err error) bool {
+	return err.Error() == "mpi: delivery from rank 0 to rank 1 tag 9 failed after 17 attempts" // want `must be inspected with mpi.AsDeliveryFailure`
+}
+
+func badDeliveryContains(err error) bool {
+	return strings.Contains(err.Error(), "delivery") && strings.Contains(err.Error(), "failed after 3 attempts") // want `must be inspected with mpi.AsDeliveryFailure`
+}
+
+func badTimeoutContains(err error) bool {
+	return strings.Contains(err.Error(), "blocked longer than") // want `errors.As against \*mpi.TimeoutError`
+}
+
+func badTimeoutEqual(err error) bool {
+	return err.Error() == "operation timeout" // want `errors.As against \*mpi.TimeoutError`
+}
+
+func goodDeliveryTyped(p any) bool {
+	_, ok := mpi.AsDeliveryFailure(p)
+	return ok
+}
+
+func goodDeliveryErrorsAs(err error) bool {
+	var df *mpi.ErrDeliveryFailed
+	return errors.As(err, &df)
+}
+
+func goodTimeoutErrorsAs(err error) bool {
+	var te *mpi.TimeoutError
+	return errors.As(err, &te)
+}
+
 func goodTyped(p any) bool {
 	_, ok := mpi.AsRankFailure(p)
 	return ok

@@ -78,6 +78,15 @@ type Stats struct {
 	InteriorNs int64
 	ShellNs    int64
 
+	// NetRetransmits, NetDupSuppressed and NetCRCRejected mirror this
+	// rank's lossy-transport reliability counters (mpi.RelStats) when
+	// message faults are armed: retransmissions sent, duplicate frames
+	// suppressed at the receiver, frames rejected by the CRC32C check.
+	// Zero in clean runs and when the chaos layer is disarmed.
+	NetRetransmits   int64
+	NetDupSuppressed int64
+	NetCRCRejected   int64
+
 	// anyMsg distinguishes "no messages yet" from a genuine smallest
 	// message of 0 bytes, so SmallestMsg is not misreported.
 	anyMsg bool
@@ -212,11 +221,20 @@ func (e *Engine) LocalDims() topology.Dims { return e.local }
 // Coord returns this rank's Cartesian coordinate.
 func (e *Engine) Coord() topology.Coord { return e.coord }
 
-// Stats returns the accumulated communication statistics.
+// Stats returns the accumulated communication statistics. When the
+// lossy-transport chaos layer is armed, the snapshot also carries this
+// rank's reliability counters.
 func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	return e.stats
+	s := e.stats
+	e.statsMu.Unlock()
+	if w := e.cart.World(); w.ChaosArmed() {
+		rs := w.NetRelStats(e.cart.WorldRank())
+		s.NetRetransmits = rs.Retransmits
+		s.NetDupSuppressed = rs.DupSuppressed
+		s.NetCRCRejected = rs.CRCRejected
+	}
+	return s
 }
 
 // ResetStats clears the accumulated statistics.

@@ -1,6 +1,7 @@
 package gpaw
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/detsum"
@@ -260,8 +261,16 @@ func (d *Dist) orthonormalize(m int, psis []*grid.Grid) error {
 	s := linalg.NewMatrix(m, m)
 	d.bandSymMatrix(m, s, psis, psis)
 	ds := pblas.FromReplicated(d.BGrid, s, subspaceBlock, subspaceBlock)
-	l, err := pblas.Cholesky(ds)
+	cholesky := pblas.Cholesky
+	if d.ABFT {
+		cholesky = pblas.CholeskyChecked
+	}
+	l, err := cholesky(ds)
 	if err != nil {
+		var sdc *pblas.ErrSDCDetected
+		if errors.As(err, &sdc) {
+			return err
+		}
 		return fmt.Errorf("gpaw: overlap not positive definite (linearly dependent states): %w", err)
 	}
 	linv, err := pblas.InvertLower(l)

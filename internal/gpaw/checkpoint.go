@@ -121,6 +121,33 @@ func (s *MemStore) Steps() ([]int, error) {
 	return steps, nil
 }
 
+// Drop implements StepDropper: the step's manifest and shards are
+// removed.
+func (s *MemStore) Drop(step int) error {
+	s.mu.Lock()
+	delete(s.manifests, step)
+	for k := range s.shards {
+		if k[0] == step {
+			delete(s.shards, k)
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Corrupt flips one byte of a stored shard — injected bit-rot for
+// chaos tests of the retention/fallback machinery.
+func (s *MemStore) Corrupt(step, rank int, byteIdx int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.shards[[2]int{step, rank}]
+	if !ok {
+		return fmt.Errorf("gpaw: checkpoint step %d shard %d not found", step, rank)
+	}
+	d[byteIdx%len(d)] ^= 0x40
+	return nil
+}
+
 // DirStore persists checkpoints under a directory:
 //
 //	<dir>/step-NNNNNN/shard-NNNN.ckpt
@@ -145,13 +172,52 @@ func (s *DirStore) stepDir(step int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("step-%06d", step))
 }
 
-// PutShard implements Store.
+// writeFileSync writes data to path and fsyncs the file before closing,
+// so the contents are durable — not just buffered in the page cache —
+// by the time the call returns.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so metadata operations inside it (created
+// files, renames) are durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// PutShard implements Store. The shard is fsynced on write: the commit
+// protocol assumes every shard of a step is durable before the manifest
+// publishes the step, so the shard write itself must not linger in the
+// page cache.
 func (s *DirStore) PutShard(step, rank int, data []byte) error {
 	dir := s.stepDir(step)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", rank)), data, 0o644)
+	if err := writeFileSync(filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", rank)), data); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // GetShard implements Store.
@@ -159,22 +225,44 @@ func (s *DirStore) GetShard(step, rank int) ([]byte, error) {
 	return os.ReadFile(filepath.Join(s.stepDir(step), fmt.Sprintf("shard-%04d.ckpt", rank)))
 }
 
-// Commit implements Store: temp file + rename, the atomic publication.
+// Commit implements Store: fsynced temp file + rename + directory
+// fsync, the durable atomic publication. The temp file is synced before
+// the rename (a rename can otherwise land before its data, leaving a
+// committed-looking step with an empty manifest after power loss) and
+// the directory after it (the rename itself is metadata that must
+// reach the journal for the step to exist at all post-crash).
 func (s *DirStore) Commit(step int, manifest []byte) error {
 	dir := s.stepDir(step)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, "MANIFEST.json.tmp")
-	if err := os.WriteFile(tmp, manifest, 0o644); err != nil {
+	if err := writeFileSync(tmp, manifest); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, "MANIFEST.json"))
+	if err := os.Rename(tmp, filepath.Join(dir, "MANIFEST.json")); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // Manifest implements Store.
 func (s *DirStore) Manifest(step int) ([]byte, error) {
 	return os.ReadFile(filepath.Join(s.stepDir(step), "MANIFEST.json"))
+}
+
+// Drop implements StepDropper. The manifest is removed first, so a
+// crash mid-drop leaves an uncommitted (invisible) step rather than a
+// committed one with missing shards.
+func (s *DirStore) Drop(step int) error {
+	dir := s.stepDir(step)
+	if err := os.Remove(filepath.Join(dir, "MANIFEST.json")); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
 }
 
 // Steps implements Store.
@@ -212,6 +300,60 @@ func LatestStep(st Store) (int, bool, error) {
 		return 0, false, nil
 	}
 	return steps[len(steps)-1], true, nil
+}
+
+// StepDropper is the optional Store extension the Checkpointer's
+// retention policy uses to prune old generations. Both MemStore and
+// DirStore implement it; a store without it simply keeps everything.
+type StepDropper interface {
+	Drop(step int) error
+}
+
+// ValidateStep deep-checks one committed step: the manifest must parse
+// and every shard must exist, match its recorded CRC64 and decode. This
+// is what lets recovery distinguish a bit-rotted generation from a good
+// one before committing to a restore.
+func ValidateStep(st Store, step int) error {
+	man, err := readManifest(st, step)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < man.Ranks; r++ {
+		data, err := st.GetShard(step, r)
+		if err != nil {
+			return fmt.Errorf("gpaw: checkpoint step %d shard %d: %w", step, r, err)
+		}
+		if len(data) < 16 {
+			return fmt.Errorf("%w: step %d shard %d: %d bytes", ErrCheckpointCorrupt, step, r, len(data))
+		}
+		if r < len(man.Sums) {
+			sum := crc64.Checksum(data[:len(data)-8], crcTable)
+			if fmt.Sprintf("%016x", sum) != man.Sums[r] {
+				return fmt.Errorf("%w: step %d shard %d checksum mismatch", ErrCheckpointCorrupt, step, r)
+			}
+		}
+		if _, err := decodeShard(data); err != nil {
+			return fmt.Errorf("step %d shard %d: %w", step, r, err)
+		}
+	}
+	return nil
+}
+
+// LatestGoodStep returns the newest committed step that passes full
+// CRC64 validation, walking back a generation at a time past bit-rotted
+// or truncated ones. fellBack reports whether any newer generation was
+// rejected — the signal behind the ckpt.fallback trace event.
+func LatestGoodStep(st Store) (step int, fellBack, ok bool, err error) {
+	steps, err := st.Steps()
+	if err != nil {
+		return 0, false, false, err
+	}
+	for i := len(steps) - 1; i >= 0; i-- {
+		if ValidateStep(st, steps[i]) == nil {
+			return steps[i], i != len(steps)-1, true, nil
+		}
+	}
+	return 0, len(steps) > 0, false, nil
 }
 
 // --- shard codec ----------------------------------------------------
@@ -287,7 +429,12 @@ func (r *shardReader) i64() int     { return int(r.u64()) }
 func (r *shardReader) f64() float64 { return math.Float64frombits(r.u64()) }
 func (r *shardReader) f64s() []float64 {
 	n := r.i64()
-	if r.err != nil || n < 0 || r.pos+8*n > len(r.buf) {
+	// The length is bounded by the bytes actually remaining BEFORE any
+	// allocation — and compared divided rather than multiplied, because
+	// 8*n overflows for adversarial lengths (n ~ 1<<61 wraps negative,
+	// passes a naive r.pos+8*n check, and the make() below would OOM on
+	// garbage input).
+	if r.err != nil || n < 0 || n > (len(r.buf)-r.pos)/8 {
 		if r.err == nil {
 			r.err = fmt.Errorf("%w: implausible vector length %d", ErrCheckpointCorrupt, n)
 		}
@@ -367,7 +514,10 @@ func decodeShard(data []byte) (*shard, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if nf < 0 || nf > 1<<20 {
+	// Each field needs at least its 8-byte length prefix, so the count
+	// is bounded by the bytes remaining — a garbage count can never
+	// drive the allocation below past the input's own size.
+	if nf < 0 || nf > (len(body)-r.pos)/8 {
 		return nil, fmt.Errorf("%w: implausible field count %d", ErrCheckpointCorrupt, nf)
 	}
 	sh.Fields = make([][]float64, nf)
@@ -376,6 +526,14 @@ func decodeShard(data []byte) (*shard, error) {
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCheckpointCorrupt, len(body)-r.pos)
+	}
+	for d := 0; d < 3; d++ {
+		if sh.Local[d] < 0 || sh.Local[d] > 1<<20 {
+			return nil, fmt.Errorf("%w: implausible box %v", ErrCheckpointCorrupt, sh.Local)
+		}
 	}
 	want := sh.Local.Count()
 	for i, f := range sh.Fields {
@@ -423,6 +581,12 @@ func readManifest(st Store, step int) (*manifest, error) {
 type Checkpointer struct {
 	Store Store
 	Every int
+	// Keep bounds retention to the newest Keep committed generations
+	// (<= 0 keeps everything). Retention must be > 1 for rollback to
+	// have somewhere to fall back to when the newest generation is
+	// rejected by CRC validation. Pruning needs the Store to implement
+	// StepDropper; stores without it keep everything.
+	Keep int
 }
 
 // due reports whether iteration it should be checkpointed.
@@ -466,7 +630,32 @@ func (ck *Checkpointer) save(d *Dist, sh *shard) error {
 	if err := ck.Store.Commit(step, raw); err != nil {
 		return fmt.Errorf("gpaw: checkpoint step %d commit: %w", step, err)
 	}
+	ck.prune()
 	return nil
+}
+
+// prune drops committed generations beyond the Keep newest. Runs at
+// rank 0 only (the committer), after the new generation is durable —
+// so a crash mid-prune can only leave extra generations, never too
+// few.
+func (ck *Checkpointer) prune() {
+	if ck.Keep <= 0 {
+		return
+	}
+	dr, ok := ck.Store.(StepDropper)
+	if !ok {
+		return
+	}
+	steps, err := ck.Store.Steps()
+	if err != nil {
+		return
+	}
+	for len(steps) > ck.Keep {
+		// Best-effort: a failed drop leaves an extra generation, which
+		// is safe.
+		_ = dr.Drop(steps[0])
+		steps = steps[1:]
+	}
 }
 
 // saveSCF snapshots the SCF state after iteration it: mixed density,
@@ -573,6 +762,9 @@ func restore(d *Dist, st Store, step, kind int) (*shard, []*grid.Grid, []*grid.G
 		data, err := st.GetShard(step, r)
 		if err != nil {
 			return nil, nil, nil, err
+		}
+		if len(data) < 16 {
+			return nil, nil, nil, fmt.Errorf("%w: step %d shard %d: %d bytes", ErrCheckpointCorrupt, step, r, len(data))
 		}
 		if r < len(man.Sums) {
 			sum := crc64.Checksum(data[:len(data)-8], crcTable)

@@ -1,6 +1,7 @@
 package gpaw
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -75,6 +76,14 @@ type DistConfig struct {
 	Threads  int // compute threads per rank for the hybrid approaches
 	Batch    int // grids per halo-exchange message batch
 
+	// ABFT arms algorithm-based fault tolerance: the dense subspace
+	// kernels run their Huang–Abraham checksum verification
+	// (pblas.CholeskyChecked and friends) and NewDistSCF installs an
+	// SDCGuard, so silent data corruption surfaces as a typed
+	// *pblas.ErrSDCDetected the fault-tolerant driver rolls back on.
+	// Verification only reads results — bit-identity is unaffected.
+	ABFT bool
+
 	// NoOverlap forces the serialized exchange-then-compute structure
 	// even for the optimized approaches, as the differential baseline
 	// the overlapped protocol is verified against. The default (false)
@@ -122,6 +131,8 @@ type Dist struct {
 	Decomp   *grid.Decomp
 	BC       Boundary
 	Approach core.Approach
+	// ABFT mirrors DistConfig.ABFT: checksum-verified dense kernels.
+	ABFT bool
 
 	// World is the full bands x domain communicator NewDist was given.
 	World *mpi.Comm
@@ -197,7 +208,7 @@ func NewDist(comm *mpi.Comm, cfg DistConfig) (*Dist, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach,
+	d := &Dist{Cart: cart, Decomp: dec, BC: cfg.BC, Approach: cfg.Approach, ABFT: cfg.ABFT,
 		World: comm, Bands: bands, Band: band, BandComm: bandComm, BGrid: bgrid,
 		eng: eng, pool: eng.WorkerPool(),
 		overlap: !cfg.NoOverlap && cfg.Approach != core.FlatOriginal}
@@ -1152,11 +1163,18 @@ type DistSCF struct {
 	// fault-injection harness uses it to kill a rank at a chosen
 	// iteration; production callers may use it for progress reporting.
 	OnIteration func(it int)
+	// Guard, when set, runs the silent-data-corruption monitors each
+	// iteration (see sdc.go); NewDistSCF arms one when d.ABFT is set.
+	Guard *SDCGuard
 }
 
 // NewDistSCF builds a distributed SCF driver with the serial defaults.
 func NewDistSCF(d *Dist, sys System) *DistSCF {
-	return &DistSCF{D: d, Sys: sys, Mix: 0.3, Tol: 1e-6, MaxIter: 60}
+	s := &DistSCF{D: d, Sys: sys, Mix: 0.3, Tol: 1e-6, MaxIter: 60}
+	if d.ABFT {
+		s.Guard = &SDCGuard{}
+	}
+	return s
 }
 
 // states returns the number of doubly occupied orbitals.
@@ -1250,6 +1268,14 @@ func (s *DistSCF) run(rs *SCFRestart) (*SCFResult, error) {
 			if s.OnIteration != nil {
 				s.OnIteration(it)
 			}
+			if s.Guard != nil {
+				if s.Guard.Tamper != nil {
+					s.Guard.Tamper(it, psis, n, veff)
+				}
+				if err := s.Guard.checkFields(d, it, psis, n, veff); err != nil {
+					return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+				}
+			}
 			h := NewDistHamiltonian(d, s.Sys.Spacing, veff)
 			es := NewDistEigenSolver(h)
 			es.Tol = 1e-7
@@ -1257,7 +1283,16 @@ func (s *DistSCF) run(rs *SCFRestart) (*SCFResult, error) {
 			var err error
 			eig, err = es.Solve(m, psis)
 			if err != nil {
+				var sdc *pblas.ErrSDCDetected
+				if errors.As(err, &sdc) && s.Guard != nil {
+					s.Guard.NoteABFT(d, sdc)
+				}
 				return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+			}
+			if s.Guard != nil {
+				if err := s.Guard.checkEig(d, it, eig); err != nil {
+					return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+				}
 			}
 			newN := s.buildDensity(m, psis)
 			var residual float64
@@ -1268,6 +1303,11 @@ func (s *DistSCF) run(rs *SCFRestart) (*SCFResult, error) {
 				var acc detsum.Acc
 				mixDensityAcc(n, newN, s.Mix, &acc)
 				residual = math.Sqrt(d.reduceAcc(&acc))
+			}
+			if s.Guard != nil {
+				if err := s.Guard.checkResidual(d, it, residual); err != nil {
+					return nil, fmt.Errorf("gpaw: scf iteration %d: %w", it, err)
+				}
 			}
 			vh, err := poisson.HartreePotential(n)
 			if err != nil {

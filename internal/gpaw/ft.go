@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/pblas"
 	"repro/internal/topology"
 )
 
@@ -31,6 +32,10 @@ type FTConfig struct {
 	// Every is the checkpoint cadence in SCF iterations (<= 1: every
 	// iteration).
 	Every int
+	// Keep bounds the retained checkpoint generations (<= 0: all).
+	// Rollback needs at least 2 so a corrupted newest generation still
+	// leaves a valid one to fall back to.
+	Keep int
 	// Recover enables shrink-to-survivors recovery. When false, a rank
 	// failure is returned to the caller as a *mpi.ErrRankFailed on
 	// every survivor.
@@ -119,7 +124,10 @@ func scfAttempt(body func() (*SCFResult, error)) (res *SCFResult, err error) {
 // full communicator to everyone — the release that lets parked ranks
 // (those beyond the shrunken process grid) return the same scalars the
 // actives computed. Layout: [status, energy, iterations, residual,
-// eigenvalues...].
+// eigenvalues...]. Status 3 signals a silent-data-corruption detection;
+// parked ranks reconstruct the typed error (Index/Got/Want ride in the
+// scalar slots) so their driver loop rolls back in lockstep with the
+// actives instead of returning while the actives retry.
 func ftOutcome(c *mpi.Comm, m int, res *SCFResult, err error) (*SCFResult, error) {
 	buf := make([]float64, 4+m)
 	if res != nil {
@@ -131,7 +139,15 @@ func ftOutcome(c *mpi.Comm, m int, res *SCFResult, err error) (*SCFResult, error
 		buf[3] = res.Residual
 		copy(buf[4:], res.Eigenvalues)
 	} else {
-		buf[0] = 2
+		var sdc *pblas.ErrSDCDetected
+		if errors.As(err, &sdc) {
+			buf[0] = 3
+			buf[1] = float64(sdc.Index)
+			buf[2] = sdc.Got
+			buf[3] = sdc.Want
+		} else {
+			buf[0] = 2
+		}
 	}
 	c.Bcast(0, buf)
 	if res != nil {
@@ -147,6 +163,8 @@ func ftOutcome(c *mpi.Comm, m int, res *SCFResult, err error) (*SCFResult, error
 			return out, fmt.Errorf("gpaw: SCF did not converge (residual %g)", out.Residual)
 		}
 		return out, nil
+	case 3:
+		return nil, &pblas.ErrSDCDetected{Op: "ft.peer", Index: int(buf[1]), Got: buf[2], Want: buf[3]}
 	default:
 		if err == nil {
 			err = fmt.Errorf("gpaw: distributed SCF failed on the active ranks")
@@ -206,7 +224,7 @@ func RunSCFFT(comm *mpi.Comm, cfg DistConfig, sys System, ft FTConfig) (*SCFResu
 				}
 				s := NewDistSCF(d, sys)
 				if ft.Store != nil {
-					s.Ckpt = &Checkpointer{Store: ft.Store, Every: ft.Every}
+					s.Ckpt = &Checkpointer{Store: ft.Store, Every: ft.Every, Keep: ft.Keep}
 				}
 				if ft.Configure != nil {
 					ft.Configure(s)
@@ -229,6 +247,19 @@ func RunSCFFT(comm *mpi.Comm, cfg DistConfig, sys System, ft FTConfig) (*SCFResu
 			return ftOutcome(c, m, res, err)
 		})
 
+		var sdc *pblas.ErrSDCDetected
+		if err != nil && errors.As(err, &sdc) {
+			if !ft.Recover || (ft.MaxRecoveries > 0 && recoveries >= ft.MaxRecoveries) {
+				return nil, err
+			}
+			recoveries++
+			// Silent corruption: the membership is intact, so no Agree or
+			// Shrink — every rank re-enters the attempt loop on the same
+			// layout and latestRestart rolls the whole world back to the
+			// newest checkpoint that still validates.
+			c.TraceRank().Mark("ft.recover", -1, -1, int64(c.Size()))
+			continue
+		}
 		var rf *mpi.ErrRankFailed
 		if err != nil && errors.As(err, &rf) {
 			if !ft.Recover || (ft.MaxRecoveries > 0 && recoveries >= ft.MaxRecoveries) {
@@ -259,21 +290,27 @@ func RunSCFFT(comm *mpi.Comm, cfg DistConfig, sys System, ft FTConfig) (*SCFResu
 	}
 }
 
-// latestRestart resolves the newest committed checkpoint onto d, with
-// active rank 0 choosing the step so every rank restores the same one.
-// Returns nil when there is nothing to resume from.
+// latestRestart resolves the newest VALID committed checkpoint onto d,
+// with active rank 0 choosing the step so every rank restores the same
+// one. Generations whose manifest or shard checksums fail validation
+// (bit-rot on the store) are skipped — the restore falls back to the
+// newest generation that still verifies, dropping a ckpt.fallback mark
+// on the timeline. Returns nil when there is nothing to resume from.
 func latestRestart(d *Dist, st Store, s *DistSCF) (*SCFRestart, error) {
 	if st == nil {
 		return nil, nil
 	}
 	var pick [1]float64
 	if d.World.Rank() == 0 {
-		step, ok, err := LatestStep(st)
+		step, fellBack, ok, err := LatestGoodStep(st)
 		if err != nil {
 			return nil, err
 		}
 		if !ok || step >= s.MaxIter {
 			step = -1
+		}
+		if fellBack {
+			d.Cart.TraceRank().Mark("ckpt.fallback", -1, -1, int64(step))
 		}
 		pick[0] = float64(step)
 	}

@@ -92,6 +92,11 @@ type FaultPlan struct {
 	Seed     int64
 	MaxDelay time.Duration
 	Kills    []Kill
+	// Msg arms message-level fault injection (drop, duplicate, reorder,
+	// payload bit-flip, delay spikes) together with the reliability
+	// sublayer that heals them; see MsgFaults in chaos.go. nil leaves
+	// the transport lossless.
+	Msg *MsgFaults
 }
 
 // splitmix64 is the mixing function behind the plan's deterministic
@@ -128,6 +133,9 @@ func (w *World) installPlan(plan *FaultPlan) {
 	}
 	w.ops = make([]int64, w.size)
 	w.ftOn.Store(true)
+	if plan.Msg != nil {
+		w.SetMsgFaults(plan.Msg)
+	}
 }
 
 // isDead reports whether a world rank has failed.

@@ -80,6 +80,10 @@ type envelope struct {
 	// model (see netmodel.go); 0 when no model is armed or the message
 	// is a free self-send.
 	arriveAt int64
+	// fail is non-nil for a poisoned delivery from the chaos reliability
+	// sublayer (see chaos.go): the matching receive completes with this
+	// typed error instead of a payload.
+	fail error
 }
 
 // mailbox holds a rank's unmatched arrived messages and posted
@@ -151,6 +155,12 @@ type World struct {
 	// worlds that never arm a tracer pay nothing beyond it.
 	trcOn  atomic.Bool
 	tracer *trace.Tracer
+
+	// Chaos-transport state (see chaos.go). chaosOn gates the lossy
+	// delivery path behind one atomic load, like ftOn/netOn/trcOn:
+	// worlds that never arm message faults pay nothing beyond it.
+	chaosOn atomic.Bool
+	chaos   *chaosState
 }
 
 // NewWorld creates a world of n ranks with the given thread mode.
@@ -415,6 +425,12 @@ func (c *Comm) sendDeliver(to, tag int, data []float64) {
 	if c.world.netOn.Load() {
 		arriveAt = c.world.sendCost(c.group[c.rank], toW, len(data))
 	}
+	if c.world.chaosOn.Load() {
+		// Lossy transport armed: route through the chaos layer's framed,
+		// sequenced, retransmitting delivery path (see chaos.go).
+		c.chaosSend(toW, tag, data, arriveAt)
+		return
+	}
 	box := c.world.boxes[toW]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -528,6 +544,12 @@ func (c *Comm) irecv(from, tag int, buf []float64) *Request {
 			//lint:ignore hotpathalloc in-place removal from the arrived list — never grows the backing array
 			box.arrived = append(box.arrived[:i], box.arrived[i+1:]...)
 			box.mu.Unlock()
+			if env.fail != nil {
+				// Poisoned delivery from the chaos reliability sublayer:
+				// the receive completes with the typed error.
+				req.completeErr(env.src, env.tag, 0, env.fail)
+				return req
+			}
 			completeRecv(req, env.src, env.tag, env.data, env.arriveAt)
 			return req
 		}
@@ -617,6 +639,10 @@ probe:
 				continue
 			}
 			if (from == AnySource || from == env.src) && (tag == AnyTag || tag == env.tag) {
+				if env.fail != nil {
+					box.mu.Unlock()
+					panic(env.fail)
+				}
 				src, gotTag, n = env.src, env.tag, len(env.data)
 				arriveAt = env.arriveAt
 				break probe

@@ -1,0 +1,171 @@
+package pblas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// ABFT-style (algorithm-based fault tolerance) checksum verification
+// for the distributed dense kernels. Huang–Abraham checksums catch the
+// silent data corruption a lossy substrate injects into compute or
+// memory: a matrix product must satisfy eᵀC = (eᵀA)·B and a Cholesky
+// factor L·(Lᵀe) = A·e, both verifiable from column/row sums at O(n²)
+// cost against the O(n³) kernel. The checked variants run the normal
+// kernel UNCHANGED — the verification reads the result, compares
+// reductions against a relative tolerance, and never writes back, so
+// the bit-identity contract of the unchecked kernels carries over
+// verbatim — and surface a detected corruption as a typed
+// *ErrSDCDetected for the solver layer to roll back on.
+//
+// The tolerance is generous (1e-6 relative): genuine rounding skew
+// between the checksum order and the kernel's accumulation order is
+// ~n·eps, while a flipped mantissa or exponent bit perturbs the sums by
+// many orders of magnitude, so the gap between false-positive and
+// missed-detection territory is wide.
+
+// ErrSDCDetected reports that an ABFT checksum or a solver sanity
+// monitor caught silent data corruption. Op names the detecting check,
+// Index the first offending global index (column, row or iteration),
+// Got/Want the mismatching checksum values. Recovery rolls back to the
+// last good checkpoint; inspect with errors.As.
+type ErrSDCDetected struct {
+	Op        string
+	Index     int
+	Got, Want float64
+}
+
+func (e *ErrSDCDetected) Error() string {
+	return fmt.Sprintf("pblas: silent data corruption detected by %s at index %d: %g != %g",
+		e.Op, e.Index, e.Got, e.Want)
+}
+
+// abftTol is the relative tolerance separating checksum rounding skew
+// from genuine corruption.
+const abftTol = 1e-6
+
+// colsums reduces the global column sums of a distributed matrix onto
+// every rank (length a.N).
+func (a *DistMatrix) colsums() []float64 {
+	in := make([]float64, a.N)
+	for lr := 0; lr < a.lm; lr++ {
+		row := a.Local[lr]
+		for lc := 0; lc < a.ln; lc++ {
+			//lint:ignore detsumcheck ABFT checksum accumulation: verification-only, tolerance-compared, never written back into solver state
+			in[a.GlobalCol(lc)] += row[lc]
+		}
+	}
+	out := make([]float64, a.N)
+	//lint:ignore detsumcheck ABFT checksum reduction: every rank receives the same reduced vector, the comparison is tolerance-based, and no solver value depends on it
+	a.G.Comm.Allreduce(mpi.OpSum, in, out)
+	return out
+}
+
+// rowsums reduces the global row sums (A·e) onto every rank (length
+// a.M).
+func (a *DistMatrix) rowsums() []float64 {
+	in := make([]float64, a.M)
+	for lr := 0; lr < a.lm; lr++ {
+		row := a.Local[lr]
+		gi := a.GlobalRow(lr)
+		for lc := 0; lc < a.ln; lc++ {
+			//lint:ignore detsumcheck ABFT checksum accumulation: verification-only, tolerance-compared, never written back into solver state
+			in[gi] += row[lc]
+		}
+	}
+	out := make([]float64, a.M)
+	//lint:ignore detsumcheck ABFT checksum reduction: same reduced vector on every rank, tolerance-compared only
+	a.G.Comm.Allreduce(mpi.OpSum, in, out)
+	return out
+}
+
+// vecMul reduces vᵀ·A onto every rank (length a.N), v indexed by global
+// row.
+func (a *DistMatrix) vecMul(v []float64) []float64 {
+	in := make([]float64, a.N)
+	for lr := 0; lr < a.lm; lr++ {
+		row := a.Local[lr]
+		vi := v[a.GlobalRow(lr)]
+		if vi == 0 {
+			continue
+		}
+		for lc := 0; lc < a.ln; lc++ {
+			//lint:ignore detsumcheck ABFT checksum accumulation: verification-only, tolerance-compared, never written back into solver state
+			in[a.GlobalCol(lc)] += vi * row[lc]
+		}
+	}
+	out := make([]float64, a.N)
+	//lint:ignore detsumcheck ABFT checksum reduction: same reduced vector on every rank, tolerance-compared only
+	a.G.Comm.Allreduce(mpi.OpSum, in, out)
+	return out
+}
+
+// mulVec reduces A·v onto every rank (length a.M), v indexed by global
+// column.
+func (a *DistMatrix) mulVec(v []float64) []float64 {
+	in := make([]float64, a.M)
+	for lr := 0; lr < a.lm; lr++ {
+		row := a.Local[lr]
+		gi := a.GlobalRow(lr)
+		for lc := 0; lc < a.ln; lc++ {
+			//lint:ignore detsumcheck ABFT checksum accumulation: verification-only, tolerance-compared, never written back into solver state
+			in[gi] += row[lc] * v[a.GlobalCol(lc)]
+		}
+	}
+	out := make([]float64, a.M)
+	//lint:ignore detsumcheck ABFT checksum reduction: same reduced vector on every rank, tolerance-compared only
+	a.G.Comm.Allreduce(mpi.OpSum, in, out)
+	return out
+}
+
+// checksumMismatch compares two checksum vectors against the relative
+// tolerance, returning the first offending index (or -1). Every rank
+// holds bit-identical vectors (they come from the same collective
+// reductions), so every rank takes the same branch.
+func checksumMismatch(got, want []float64) int {
+	for i := range got {
+		scale := 1 + math.Abs(got[i]) + math.Abs(want[i])
+		if d := got[i] - want[i]; math.IsNaN(d) || math.Abs(d) > abftTol*scale {
+			return i
+		}
+	}
+	return -1
+}
+
+// MatMulChecked is MatMul with Huang–Abraham checksum verification:
+// after the unchanged SUMMA product, the column sums of C must equal
+// (eᵀA)·B within rounding. The product itself is bit-identical to
+// MatMul's; on checksum mismatch the corrupted product is discarded and
+// a typed *ErrSDCDetected returned.
+func MatMulChecked(a, b *DistMatrix) (*DistMatrix, error) {
+	c, err := MatMul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	defer a.G.region("pblas.abft.verify").End()
+	want := b.vecMul(a.colsums())
+	got := c.colsums()
+	if j := checksumMismatch(got, want); j >= 0 {
+		return nil, &ErrSDCDetected{Op: "summa.colsum", Index: j, Got: got[j], Want: want[j]}
+	}
+	return c, nil
+}
+
+// CholeskyChecked is Cholesky with checksum verification: the factor
+// must satisfy L·(Lᵀe) = A·e within rounding. The factor is
+// bit-identical to Cholesky's; on mismatch a typed *ErrSDCDetected is
+// returned instead.
+func CholeskyChecked(a *DistMatrix) (*DistMatrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	defer a.G.region("pblas.abft.verify").End()
+	want := a.rowsums()
+	got := l.mulVec(l.colsums())
+	if i := checksumMismatch(got, want); i >= 0 {
+		return nil, &ErrSDCDetected{Op: "cholesky.rowsum", Index: i, Got: got[i], Want: want[i]}
+	}
+	return l, nil
+}

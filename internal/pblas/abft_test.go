@@ -1,0 +1,175 @@
+package pblas
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mpi"
+)
+
+func TestMatMulCheckedBitIdenticalAndNoFalsePositives(t *testing.T) {
+	// The checked product must return MatMul's exact bits (verification
+	// reads, never writes) and must not false-positive on genuine
+	// rounding across grids and block sizes.
+	onGrids(t, func(t *testing.T, g *Grid2D) {
+		rng := rand.New(rand.NewSource(31))
+		a := randMatrix(rng, 13, 9)
+		b := randMatrix(rng, 9, 11)
+		for _, nb := range []int{1, 3, 64} {
+			da := FromReplicated(g, a, nb, nb)
+			db := FromReplicated(g, b, nb, nb)
+			want, err := MatMul(da, db)
+			if err != nil {
+				panic(err)
+			}
+			got, err := MatMulChecked(da, db)
+			if err != nil {
+				panic(err)
+			}
+			if !bitEqual(got.Replicate(), want.Replicate()) {
+				panic("checked product differs from MatMul")
+			}
+		}
+	})
+}
+
+func TestCholeskyCheckedBitIdenticalAndNoFalsePositives(t *testing.T) {
+	onGrids(t, func(t *testing.T, g *Grid2D) {
+		rng := rand.New(rand.NewSource(32))
+		a := randSPD(rng, 12)
+		for _, nb := range []int{2, 5} {
+			da := FromReplicated(g, a, nb, nb)
+			want, err := Cholesky(da)
+			if err != nil {
+				panic(err)
+			}
+			got, err := CholeskyChecked(FromReplicated(g, a, nb, nb))
+			if err != nil {
+				panic(err)
+			}
+			if !bitEqual(got.Replicate(), want.Replicate()) {
+				panic("checked factor differs from Cholesky")
+			}
+		}
+	})
+}
+
+func TestChecksumDetectsInjectedCorruption(t *testing.T) {
+	// Flipping one high mantissa/exponent bit of one local element on
+	// one rank must trip the checksum comparison on EVERY rank (the
+	// reduced vectors are identical everywhere), with the typed error.
+	onGrids(t, func(t *testing.T, g *Grid2D) {
+		rng := rand.New(rand.NewSource(33))
+		a := randMatrix(rng, 10, 10)
+		b := randMatrix(rng, 10, 10)
+		da := FromReplicated(g, a, 3, 3)
+		db := FromReplicated(g, b, 3, 3)
+		c, err := MatMul(da, db)
+		if err != nil {
+			panic(err)
+		}
+		// Corrupt one element of the product on rank 0 of the grid.
+		if g.Myrow == 0 && g.Mycol == 0 && c.lm > 0 && c.ln > 0 {
+			v := c.Local[0][0]
+			c.Local[0][0] = math.Float64frombits(math.Float64bits(v) ^ 1<<62)
+		}
+		want := db.vecMul(da.colsums())
+		got := c.colsums()
+		j := checksumMismatch(got, want)
+		if j < 0 {
+			panic("injected corruption not detected")
+		}
+		err = &ErrSDCDetected{Op: "summa.colsum", Index: j, Got: got[j], Want: want[j]}
+		var sdc *ErrSDCDetected
+		if !errors.As(err, &sdc) || sdc.Index != j {
+			panic("typed SDC error did not round-trip errors.As")
+		}
+	})
+}
+
+func TestCholeskyCheckedDetectsCorruptInput(t *testing.T) {
+	// A silently corrupted input matrix (one rank's replica disagrees —
+	// the classic memory-flip scenario) must be caught: the factor's
+	// checksum can no longer match the consistent rowsum reduction.
+	onGrids(t, func(t *testing.T, g *Grid2D) {
+		if g.Pr*g.Pc == 1 {
+			return // corruption needs an inconsistency to surface
+		}
+		rng := rand.New(rand.NewSource(34))
+		a := randSPD(rng, 8)
+		da := FromReplicated(g, a, 2, 2)
+		// One rank's copy of one owned element rots in memory. Keep it
+		// off the diagonal so the factor stays computable.
+		if g.Myrow == 0 && g.Mycol == 0 {
+			for lr := 0; lr < da.lm; lr++ {
+				gi := da.GlobalRow(lr)
+				for lc := 0; lc < da.ln; lc++ {
+					if gj := da.GlobalCol(lc); gj < gi {
+						da.Local[lr][lc] *= 1.5
+						lr = da.lm
+						break
+					}
+				}
+			}
+		}
+		_, err := CholeskyChecked(da)
+		var sdc *ErrSDCDetected
+		if err == nil || !errors.As(err, &sdc) {
+			// The corruption may instead surface as a non-PD failure —
+			// also a detection, also typed. Only a silent pass is a bug.
+			if err == nil {
+				panic("corrupted Cholesky input passed the checksum")
+			}
+		}
+	})
+}
+
+func TestChecksumVectorsIdenticalAcrossRanks(t *testing.T) {
+	// The branch-agreement property everything rests on: the reduced
+	// checksum vectors must be bit-identical on every rank.
+	onGrids(t, func(t *testing.T, g *Grid2D) {
+		rng := rand.New(rand.NewSource(35))
+		a := FromReplicated(g, randMatrix(rng, 9, 7), 2, 2)
+		cs := a.colsums()
+		rs := a.rowsums()
+		ref := make([]float64, 0, len(cs)+len(rs))
+		ref = append(ref, cs...)
+		ref = append(ref, rs...)
+		out := make([]float64, len(ref))
+		g.Comm.Allreduce(mpi.OpMax, ref, out)
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(out[i]) {
+				panic("checksum vectors differ across ranks")
+			}
+		}
+	})
+}
+
+func TestLinalgChecksumIdentity(t *testing.T) {
+	// Serial sanity for the identity itself: eᵀ(AB) == (eᵀA)B up to
+	// rounding far below the ABFT tolerance.
+	rng := rand.New(rand.NewSource(36))
+	a := randMatrix(rng, 6, 5)
+	b := randMatrix(rng, 5, 4)
+	c := linalg.MatMul(a, b)
+	for j := 0; j < 4; j++ {
+		var lhs, rhs float64
+		for i := 0; i < 6; i++ {
+			lhs += c[i][j]
+		}
+		for k := 0; k < 5; k++ {
+			var colA float64
+			for i := 0; i < 6; i++ {
+				colA += a[i][k]
+			}
+			rhs += colA * b[k][j]
+		}
+		scale := 1 + math.Abs(lhs) + math.Abs(rhs)
+		if math.Abs(lhs-rhs)/scale > 1e-12 {
+			t.Fatalf("column %d: %g != %g", j, lhs, rhs)
+		}
+	}
+}
